@@ -1,0 +1,33 @@
+// Ablation D (extension): irregular FALL-page workload vs the regular MV.
+//
+// Sparse gathers over one shared table are the access class the paper's
+// Section III singles out (Shao et al.'s "frequently accessed but low
+// locality" pages): they fault at low locality even *below* the
+// oversubscription threshold, and scale-out helps less because the whole
+// table must be replicated to every worker. This bench quantifies both
+// effects, complementing Figs 6/7 which only cover regular workloads.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  std::printf("# Ablation D — irregular gathers (IRR) vs regular MV\n");
+  std::printf("# single node and GrOUT x2 (vector-step); '>' = capped at 2.5 h\n");
+  std::printf("%-5s %8s | %12s %12s %9s | %12s %12s %9s\n", "GiB", "oversub", "MV 1-node",
+              "MV grout", "speedup", "IRR 1-node", "IRR grout", "speedup");
+
+  for (const double size : {16.0, 32.0, 64.0, 96.0, 128.0}) {
+    std::printf("%-5.0f %7.2fx |", size, size / 32.0);
+    for (const auto kind : {workloads::WorkloadKind::Mv, workloads::WorkloadKind::Irregular}) {
+      const RunOutcome single = run_single_node(kind, gib(size));
+      const RunOutcome dist = run_grout(kind, gib(size), 2, core::PolicyKind::VectorStep);
+      std::printf(" %s%11.2f %s%11.2f %8.2fx |", oot_mark(single), single.seconds,
+                  oot_mark(dist), dist.seconds, single.seconds / dist.seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

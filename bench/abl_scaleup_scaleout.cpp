@@ -1,0 +1,53 @@
+// Ablation E: scale-UP vs scale-OUT (the paper's Section V-F discussion).
+//
+// The paper notes cloud scale-up caps at ~16 GPUs per system, after which
+// oversubscription — and therefore GrOUT-style scale-out — is inevitable.
+// This bench holds the dataset at 128 GiB and compares
+//   * one node with 2/4/8 GPUs (scale-up: more device memory, no network),
+//   * two/four 2-GPU nodes under GrOUT (scale-out: network, but the same
+//     total device memory as the matching scale-up row).
+// Scale-up wins at equal GPU count (no network cost) — until the cap; the
+// point is that scale-out keeps the same escape hatch open indefinitely.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace grout;
+using namespace grout::bench;
+
+double scale_up_seconds(std::size_t gpus, Bytes footprint, workloads::WorkloadKind kind) {
+  gpusim::GpuNodeConfig node = paper_node();
+  node.gpu_count = gpus;
+  polyglot::Context ctx =
+      polyglot::Context::grcuda(node, runtime::StreamPolicyKind::DataLocal, run_cap());
+  auto w = workloads::make_workload(kind, params_for(kind, footprint));
+  return workloads::execute_workload(ctx, *w).elapsed.seconds();
+}
+
+double scale_out_seconds(std::size_t workers, Bytes footprint, workloads::WorkloadKind kind) {
+  return run_grout(kind, footprint, workers, core::PolicyKind::VectorStep).seconds;
+}
+
+}  // namespace
+
+int main() {
+  const Bytes footprint = gib(128.0);
+
+  std::printf("# Ablation E — scale-up vs scale-out, 128 GiB dataset (seconds)\n");
+  std::printf("# total GPU memory per row is equal between the two columns\n");
+  std::printf("%-18s | %14s | %20s\n", "total GPUs", "scale-up [s]", "scale-out x2GPU [s]");
+  for (const auto kind : {workloads::WorkloadKind::Mv, workloads::WorkloadKind::Cg}) {
+    std::printf("-- %s\n", workloads::to_string(kind));
+    std::printf("%-18s | %14.2f | %20s\n", "2 (1 node)",
+                scale_up_seconds(2, footprint, kind), "-");
+    std::printf("%-18s | %14.2f | %20.2f\n", "4 (2x2)",
+                scale_up_seconds(4, footprint, kind),
+                scale_out_seconds(2, footprint, kind));
+    std::printf("%-18s | %14.2f | %20.2f\n", "8 (4x2)",
+                scale_up_seconds(8, footprint, kind),
+                scale_out_seconds(4, footprint, kind));
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation F: intra-node (GrCUDA, Algorithm 2) stream-selection policies.
+//
+// The worker-side scheduler picks a CUDA stream per CE. Round-robin
+// bounces partitions between the node's GPUs — each bounce re-migrates the
+// partition over PCIe; data-local keeps partitions pinned via the
+// schedule-time affinity map. The gap is the intra-node analogue of
+// Figure 8's inter-node locality story.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace grout;
+using namespace grout::bench;
+
+double run_with(runtime::StreamPolicyKind policy, workloads::WorkloadKind kind,
+                Bytes footprint, std::size_t iterations) {
+  polyglot::Context ctx = polyglot::Context::grcuda(paper_node(), policy, run_cap());
+  workloads::WorkloadParams p = params_for(kind, footprint);
+  p.iterations = iterations;
+  auto w = workloads::make_workload(kind, p);
+  return workloads::execute_workload(ctx, *w).elapsed.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation F — intra-node stream policies (1 node, 2 GPUs, seconds)\n");
+  std::printf("# MV at 16 GiB (fits once placed) x 4 iterations: locality dominates\n");
+  std::printf("%-14s %12s %12s\n", "policy", "MV 16GiBx4", "CG 16GiB");
+  for (const auto policy :
+       {runtime::StreamPolicyKind::RoundRobin, runtime::StreamPolicyKind::LeastLoaded,
+        runtime::StreamPolicyKind::DataLocal}) {
+    std::printf("%-14s %12.3f %12.3f\n", to_string(policy),
+                run_with(policy, workloads::WorkloadKind::Mv, gib(16.0), 4),
+                run_with(policy, workloads::WorkloadKind::Cg, gib(16.0), 3));
+  }
+  return 0;
+}

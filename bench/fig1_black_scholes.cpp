@@ -1,0 +1,21 @@
+// Figure 1: impact of UVM oversubscription on the execution time of the
+// Black–Scholes kernel on one node (2x V100-16GB) when increasing the
+// input size. Sizes beyond the GPUs' 32 GiB are flagged — in the paper
+// those are the red bars with exploding execution times.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  std::printf("# Figure 1 — Black-Scholes on a single node, increasing input size\n");
+  std::printf("%-6s %10s %8s %16s\n", "GiB", "oversub", "beyond?", "time [s]");
+  for (const double size : paper_sizes_gib()) {
+    const RunOutcome o = run_single_node(workloads::WorkloadKind::BlackScholes, gib(size));
+    std::printf("%-6.0f %9.2fx %8s %s%15.2f\n", size, size / 32.0,
+                size > 32.0 ? "RED" : "", oot_mark(o), o.seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6a: single-node (GrCUDA) slowdown w.r.t. the 4 GiB execution when
+// increasing the dataset size up to 160 GiB (5x oversubscription).
+//
+// Paper shape: near-linear growth until 2-3x oversubscription, then a cliff;
+// the CG/MLE steps land around 70x, the massively parallel MV around 342x
+// (runs can hit the 2.5 h cap, printed as ">").
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  const auto sizes = paper_sizes_gib();
+  std::printf("# Figure 6a — single-node (GrCUDA) slowdown vs 4 GiB baseline\n");
+  std::printf("# oversubscription 1x = 32 GiB (2x V100-16GB); '>' = hit the 2.5h cap\n");
+  std::printf("%-5s %10s | %14s %10s | %14s %10s | %14s %10s\n", "GiB", "oversub",
+              "MLE time[s]", "slowdown", "CG time[s]", "slowdown", "MV time[s]", "slowdown");
+
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::Mle,
+                                           workloads::WorkloadKind::Cg,
+                                           workloads::WorkloadKind::Mv};
+  std::vector<double> baseline(3, 0.0);
+  for (const double size : sizes) {
+    std::printf("%-5.0f %9.2fx |", size, size / 32.0);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const RunOutcome o = run_single_node(kinds[k], gib(size));
+      if (size == sizes.front()) baseline[k] = o.seconds;
+      std::printf(" %s%13.2f %9.1fx |", oot_mark(o), o.seconds, o.seconds / baseline[k]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

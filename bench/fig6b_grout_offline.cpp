@@ -1,0 +1,34 @@
+// Figure 6b: GrOUT on two nodes with the offline vector-step policy —
+// slowdown w.r.t. the 4 GiB execution for dataset sizes up to 160 GiB.
+//
+// Paper shape: the oversubscription steps collapse to near-linear values
+// (MV 4.1x instead of 342.6x; CG 13.3x instead of 77.3x at 64->96 GiB;
+// MLE 4.1x instead of 72.0x at 32->64 GiB).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  const auto sizes = paper_sizes_gib();
+  std::printf("# Figure 6b — GrOUT (2 nodes, vector-step) slowdown vs 4 GiB baseline\n");
+  std::printf("%-5s %10s | %14s %10s | %14s %10s | %14s %10s\n", "GiB", "oversub",
+              "MLE time[s]", "slowdown", "CG time[s]", "slowdown", "MV time[s]", "slowdown");
+
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::Mle,
+                                           workloads::WorkloadKind::Cg,
+                                           workloads::WorkloadKind::Mv};
+  std::vector<double> baseline(3, 0.0);
+  for (const double size : sizes) {
+    std::printf("%-5.0f %9.2fx |", size, size / 32.0);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const RunOutcome o = run_grout(kinds[k], gib(size), 2, core::PolicyKind::VectorStep);
+      if (size == sizes.front()) baseline[k] = o.seconds;
+      std::printf(" %s%13.2f %9.1fx |", oot_mark(o), o.seconds, o.seconds / baseline[k]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 7: speedup of GrOUT (two nodes, offline vector-step) over the
+// single-node execution at the same oversubscription factor.
+//
+// Paper shape: below ~1x oversubscription the single node wins (GrOUT pays
+// the network); at 2x only CG already benefits; from 3x on every workload
+// wins distributed — up to 1.64x (MLE), 7.45x (CG) and beyond 24.42x (MV,
+// where the single node ran out of time).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  const auto sizes = paper_sizes_gib();
+  std::printf("# Figure 7 — GrOUT (2 nodes) speedup over single node, same dataset\n");
+  std::printf("# speedup > 1 means the distributed run wins; '>' = single node hit the cap\n");
+  std::printf("%-5s %10s | %12s | %12s | %12s\n", "GiB", "oversub", "MLE", "CG", "MV");
+
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::Mle,
+                                           workloads::WorkloadKind::Cg,
+                                           workloads::WorkloadKind::Mv};
+  for (const double size : sizes) {
+    std::printf("%-5.0f %9.2fx |", size, size / 32.0);
+    for (const auto kind : kinds) {
+      const RunOutcome single = run_single_node(kind, gib(size));
+      const RunOutcome dist = run_grout(kind, gib(size), 2, core::PolicyKind::VectorStep);
+      std::printf(" %s%9.2fx%s |", single.completed ? " " : ">",
+                  single.seconds / dist.seconds, dist.completed ? " " : "!");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: online vs. offline scheduling policies at 3x oversubscription
+// (96 GiB) on two nodes, normalized to the round-robin baseline (lower is
+// better), under the three exploration-vs-exploitation heuristic levels.
+//
+// Paper findings reproduced here:
+//   * the heuristic greediness (Low/Medium/High) barely matters;
+//   * MLE: online policies match the user-tuned vector-step roofline;
+//   * CG: online policies trail the offline roofline (complex
+//     inter-dependencies are unknown at runtime) yet still beat the
+//     oversubscribed single node;
+//   * MV (shared matrix): the min-transfer policies glue every CE to the
+//     node that already holds the matrix, that node collapses into the
+//     UVM storm regime, and pure exploration (round-robin) wins by two
+//     orders of magnitude (runs are capped at 2.5 h, printed as ">").
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace grout;
+  using namespace grout::bench;
+
+  const Bytes footprint = gib(96.0);  // 3x oversubscription
+  const workloads::WorkloadKind kinds[] = {workloads::WorkloadKind::Mle,
+                                           workloads::WorkloadKind::Cg,
+                                           workloads::WorkloadKind::Mv};
+  const core::ExplorationLevel levels[] = {core::ExplorationLevel::Low,
+                                           core::ExplorationLevel::Medium,
+                                           core::ExplorationLevel::High};
+
+  std::printf("# Figure 8 — policies at 3x oversubscription (96 GiB, 2 nodes)\n");
+  std::printf("# normalized to round-robin (lower is better); '>' = capped at 2.5 h\n");
+
+  for (const auto level : levels) {
+    std::printf("\n## exploration heuristic: %s (viability threshold %.2f)\n",
+                to_string(level), core::exploration_threshold(level));
+    std::printf("%-5s | %13s | %13s | %17s | %17s\n", "wl", "round-robin", "vector-step",
+                "min-transfer-size", "min-transfer-time");
+    for (const auto kind : kinds) {
+      // MV runs with one shared matrix allocation (range-partitioned CEs)
+      // and two passes — the configuration where whole-array transfer
+      // granularity turns data locality into a trap.
+      const bool shared = kind == workloads::WorkloadKind::Mv;
+      const std::size_t iters = shared ? 2 : 0;
+      const RunOutcome rr =
+          run_grout(kind, footprint, 2, core::PolicyKind::RoundRobin, level, shared, iters);
+      const RunOutcome vs =
+          run_grout(kind, footprint, 2, core::PolicyKind::VectorStep, level, shared, iters);
+      const RunOutcome ms = run_grout(kind, footprint, 2, core::PolicyKind::MinTransferSize,
+                                      level, shared, iters);
+      const RunOutcome mt = run_grout(kind, footprint, 2, core::PolicyKind::MinTransferTime,
+                                      level, shared, iters);
+      std::printf("%-5s | %12.2f%s | %12.2f%s | %16.2f%s | %16.2f%s\n",
+                  workloads::to_string(kind), 1.0, oot_mark(rr), vs.seconds / rr.seconds,
+                  oot_mark(vs), ms.seconds / rr.seconds, oot_mark(ms),
+                  mt.seconds / rr.seconds, oot_mark(mt));
+    }
+  }
+  return 0;
+}

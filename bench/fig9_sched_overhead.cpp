@@ -1,0 +1,121 @@
+// Figure 9: overhead of the node-level scheduling policies inside the
+// Controller for an increasing number of worker nodes (up to 256).
+//
+// Unlike the other benches, this measures REAL wall-clock time of the
+// actual scheduler code path under google-benchmark, because the
+// scheduler is real code, not a simulation model. Paper shape: the static
+// policies (round-robin, vector-step) are flat and well under 30 us; the
+// min-transfer-* policies grow with the node count up to ~hundreds of
+// microseconds at 256 nodes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/policies.hpp"
+#include "net/fabric.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace grout;
+
+/// Synthetic controller state: W workers, a directory of arrays whose
+/// copies are scattered across the cluster, and the probed bandwidth
+/// matrix.
+struct Fixture {
+  explicit Fixture(std::size_t workers, std::size_t arrays = 64)
+      : directory(workers), workers_count{workers} {
+    std::vector<net::NicSpec> nics;
+    nics.push_back(net::NicSpec{"controller", Bandwidth::mbit_per_sec(8000.0),
+                                SimTime::from_us(50.0)});
+    for (std::size_t i = 0; i < workers; ++i) {
+      nics.push_back(net::NicSpec{"worker" + std::to_string(i),
+                                  Bandwidth::mbit_per_sec(4000.0), SimTime::from_us(50.0)});
+    }
+    fabric = std::make_unique<net::NetworkFabric>(sim, std::move(nics));
+
+    Rng rng(0xf19u);
+    for (std::size_t a = 0; a < arrays; ++a) {
+      const auto id = directory.register_array(1_GiB + a * 16_MiB, "a" + std::to_string(a));
+      // Scatter 1-3 worker copies per array.
+      const std::size_t copies = 1 + rng.next_below(3);
+      for (std::size_t c = 0; c < copies; ++c) {
+        directory.add_worker_copy(id, rng.next_below(workers));
+      }
+    }
+    // A rotating set of synthetic CEs with 4 parameters each.
+    for (std::size_t i = 0; i < 32; ++i) {
+      std::vector<core::PlacementParam> params;
+      gpusim::KernelLaunchSpec spec;
+      spec.name = "synthetic-kernel";
+      spec.flops = 1e9;
+      for (int p = 0; p < 4; ++p) {
+        const auto array = static_cast<core::GlobalArrayId>(rng.next_below(arrays));
+        params.push_back(core::PlacementParam{array, directory.bytes_of(array), p != 3});
+        spec.params.push_back(uvm::ParamAccess{
+            array, uvm::ByteRange{},
+            p != 3 ? uvm::AccessMode::Read : uvm::AccessMode::Write,
+            uvm::StreamingPattern{}});
+      }
+      ces.push_back(std::move(params));
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  core::PlacementQuery query(std::size_t ce) const {
+    core::PlacementQuery q;
+    q.params = &ces[ce % ces.size()];
+    q.directory = &directory;
+    q.fabric = fabric.get();
+    q.workers = workers_count;
+    return q;
+  }
+
+  sim::Simulator sim;
+  core::CoherenceDirectory directory;
+  std::unique_ptr<net::NetworkFabric> fabric;
+  std::vector<std::vector<core::PlacementParam>> ces;
+  std::vector<gpusim::KernelLaunchSpec> specs;
+  std::size_t workers_count;
+};
+
+/// The measured path = policy decision + CE marshalling (the controller's
+/// per-CE work before the descriptor goes on the wire).
+void run_policy_bench(benchmark::State& state, core::PolicyKind kind) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  Fixture fixture(workers);
+  auto policy = core::make_policy(kind, {1, 2, 3}, core::ExplorationLevel::Medium);
+  std::vector<std::byte> wire;
+  std::size_t ce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->assign(fixture.query(ce)));
+    benchmark::DoNotOptimize(net::encode_ce(fixture.specs[ce % fixture.specs.size()], wire));
+    ++ce;
+  }
+  state.SetLabel(to_string(kind));
+}
+
+void bench_round_robin(benchmark::State& s) { run_policy_bench(s, core::PolicyKind::RoundRobin); }
+void bench_vector_step(benchmark::State& s) { run_policy_bench(s, core::PolicyKind::VectorStep); }
+void bench_min_size(benchmark::State& s) {
+  run_policy_bench(s, core::PolicyKind::MinTransferSize);
+}
+void bench_min_time(benchmark::State& s) {
+  run_policy_bench(s, core::PolicyKind::MinTransferTime);
+}
+
+void node_counts(benchmark::internal::Benchmark* b) {
+  for (const int n : {2, 4, 8, 16, 32, 64, 128, 256}) b->Arg(n);
+}
+
+BENCHMARK(bench_round_robin)->Apply(node_counts);
+BENCHMARK(bench_vector_step)->Apply(node_counts);
+BENCHMARK(bench_min_size)->Apply(node_counts);
+BENCHMARK(bench_min_time)->Apply(node_counts);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+# The paper's Listing 1, runnable via: grout_cli script examples/scripts/listing1.py
+# Change GrOUT -> GrCUDA below to run single-node instead (Listing 2).
+import polyglot
+
+KERNEL = """
+extern "C" __global__ void square(float* x, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    x[i] = x[i] * x[i];
+  }
+}
+"""
+KERNEL_SIGNATURE = "square(x: inout pointer float, n: sint32)"
+GRID_SIZE = 1
+BLOCK_SIZE = 128
+
+# Initialization
+build = polyglot.eval(GrOUT, "buildkernel")
+square = build(KERNEL, KERNEL_SIGNATURE)
+x = polyglot.eval(GrOUT, "float[100]")
+
+# Normal execution flow
+for i in range(100):
+  x[i] = i
+square(GRID_SIZE, BLOCK_SIZE)(x, 100)
+print(x)

@@ -1,0 +1,28 @@
+# For-loop reduction kernel through the NVRTC stand-in (single node).
+import polyglot
+
+KERNEL = """
+extern "C" __global__ void dot(const float* u, const float* v, float* out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0) {
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      acc += u[j] * v[j];
+    }
+    out[0] = acc;
+  }
+}
+"""
+
+build = polyglot.eval(GrCUDA, "buildkernel")
+dot = build(KERNEL, "dot(u: const pointer float, v: const pointer float, out: out pointer float, n: sint32)")
+
+u = polyglot.eval(GrCUDA, "float[64]")
+v = polyglot.eval(GrCUDA, "float[64]")
+out = polyglot.eval(GrCUDA, "float[1]")
+for i in range(64):
+  u[i] = i
+  v[i] = 2
+dot(1, 32)(u, v, out, 64)
+sync()
+print("dot =", out[0])  # 2 * sum(0..63) = 4032

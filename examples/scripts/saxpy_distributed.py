@@ -1,0 +1,47 @@
+# Distributed SAXPY over partitioned vectors (GrOUT backend).
+# Each partition is one CE; the controller spreads them over the workers.
+import polyglot
+
+KERNEL = """
+extern "C" __global__ void saxpy(float* y, const float* x, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+"""
+SIG = "saxpy(y: inout pointer float, x: const pointer float, a: float, n: sint32)"
+
+build = polyglot.eval(GrOUT, "buildkernel")
+saxpy = build(KERNEL, SIG)
+
+PARTS = 4
+N = 256
+
+x0 = polyglot.eval(GrOUT, "float[256]")
+y0 = polyglot.eval(GrOUT, "float[256]")
+x1 = polyglot.eval(GrOUT, "float[256]")
+y1 = polyglot.eval(GrOUT, "float[256]")
+x2 = polyglot.eval(GrOUT, "float[256]")
+y2 = polyglot.eval(GrOUT, "float[256]")
+x3 = polyglot.eval(GrOUT, "float[256]")
+y3 = polyglot.eval(GrOUT, "float[256]")
+
+for i in range(N):
+  x0[i] = i
+  y0[i] = 1
+  x1[i] = i * 2
+  y1[i] = 1
+  x2[i] = i * 3
+  y2[i] = 1
+  x3[i] = i * 4
+  y3[i] = 1
+
+saxpy(2, 128)(y0, x0, 2.0, N)
+saxpy(2, 128)(y1, x1, 2.0, N)
+saxpy(2, 128)(y2, x2, 2.0, N)
+saxpy(2, 128)(y3, x3, 2.0, N)
+sync()
+
+# y_k[10] = 2 * (10 * (k+1)) + 1
+print(y0[10], y1[10], y2[10], y3[10])

@@ -1,0 +1,40 @@
+#include "cluster/cluster.hpp"
+
+namespace grout::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
+  GROUT_REQUIRE(config_.workers >= 1, "a cluster needs at least one worker");
+  tracer_.set_enabled(config_.trace);
+
+  std::vector<net::NicSpec> nics;
+  nics.reserve(config_.workers + 1);
+  nics.push_back(config_.controller_nic);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    net::NicSpec nic = config_.worker_nic;
+    nic.name = config_.worker_nic.name + std::to_string(i);
+    nics.push_back(std::move(nic));
+  }
+  fabric_ = std::make_unique<net::NetworkFabric>(sim_, std::move(nics), &tracer_);
+
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    gpusim::GpuNodeConfig node_cfg = config_.worker_node;
+    node_cfg.name = "node" + std::to_string(i);
+    node_cfg.seed = config_.worker_node.seed + i * 0x9e37ULL;
+    workers_.push_back(std::make_unique<Worker>(sim_, std::move(node_cfg), worker_fabric_id(i),
+                                                config_.stream_policy, config_.streams_per_gpu,
+                                                config_.trace ? &tracer_ : nullptr));
+  }
+}
+
+Worker& Cluster::worker(std::size_t i) {
+  GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+  return *workers_[i];
+}
+
+const Worker& Cluster::worker(std::size_t i) const {
+  GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+  return *workers_[i];
+}
+
+}  // namespace grout::cluster

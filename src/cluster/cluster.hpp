@@ -1,0 +1,61 @@
+// Cluster bootstrap: one Controller-side fabric endpoint plus N Workers.
+//
+// Fabric node 0 is the Controller (the paper's Intel Xeon 6354 head node
+// with an 8 Gbit/s NIC); nodes 1..N are workers (two V100s, 4 Gbit/s NIC).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/worker.hpp"
+#include "sim/trace.hpp"
+
+namespace grout::cluster {
+
+struct ClusterConfig {
+  std::size_t workers{2};
+  net::NicSpec controller_nic{
+      .name = "controller", .bw = Bandwidth::mbit_per_sec(8000.0),
+      .latency = SimTime::from_us(50.0)};
+  net::NicSpec worker_nic{
+      .name = "worker", .bw = Bandwidth::mbit_per_sec(4000.0),
+      .latency = SimTime::from_us(50.0)};
+  gpusim::GpuNodeConfig worker_node{};
+  runtime::StreamPolicyKind stream_policy{runtime::StreamPolicyKind::LeastLoaded};
+  std::size_t streams_per_gpu{2};
+  bool trace{false};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::NetworkFabric& fabric() { return *fabric_; }
+  [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] Worker& worker(std::size_t i);
+  [[nodiscard]] const Worker& worker(std::size_t i) const;
+
+  /// Fabric id of the controller endpoint (always 0).
+  [[nodiscard]] static constexpr net::NodeId controller_id() { return 0; }
+  /// Fabric id of worker `i`.
+  [[nodiscard]] static net::NodeId worker_fabric_id(std::size_t i) {
+    return static_cast<net::NodeId>(i + 1);
+  }
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  sim::Tracer tracer_;
+  std::unique_ptr<net::NetworkFabric> fabric_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace grout::cluster

@@ -1,0 +1,46 @@
+#include "cluster/worker.hpp"
+
+namespace grout::cluster {
+
+Worker::Worker(sim::Simulator& simulator, gpusim::GpuNodeConfig node_config,
+               net::NodeId fabric_id, runtime::StreamPolicyKind stream_policy,
+               std::size_t streams_per_gpu, sim::Tracer* tracer)
+    : node_{simulator, std::move(node_config), tracer},
+      runtime_{node_, stream_policy, streams_per_gpu},
+      fabric_id_{fabric_id} {}
+
+uvm::ArrayId Worker::ensure_array(GlobalArrayId global, Bytes bytes, const std::string& name) {
+  const auto it = local_ids_.find(global);
+  if (it != local_ids_.end()) return it->second;
+  const uvm::ArrayId local = node_.uvm().alloc(bytes, name + "@" + node_.name());
+  local_ids_.emplace(global, local);
+  return local;
+}
+
+uvm::ArrayId Worker::local_array(GlobalArrayId global) const {
+  const auto it = local_ids_.find(global);
+  GROUT_REQUIRE(it != local_ids_.end(), "array not present on this worker");
+  return it->second;
+}
+
+runtime::Submission Worker::execute_kernel(gpusim::KernelLaunchSpec spec,
+                                           gpusim::EventPtr ready) {
+  for (auto& p : spec.params) {
+    p.array = local_array(static_cast<GlobalArrayId>(p.array));
+  }
+  return runtime_.submit_kernel(std::move(spec), std::move(ready));
+}
+
+runtime::Submission Worker::stage_send(GlobalArrayId global) {
+  const uvm::ArrayId local = local_array(global);
+  return runtime_.submit_host_access(local, uvm::AccessMode::Read, SimTime::zero(),
+                                     "stage-send:" + node_.uvm().array_name(local));
+}
+
+runtime::Submission Worker::accept_receive(GlobalArrayId global, gpusim::EventPtr arrival) {
+  const uvm::ArrayId local = local_array(global);
+  return runtime_.submit_adopt(local, std::move(arrival),
+                               "receive:" + node_.uvm().array_name(local));
+}
+
+}  // namespace grout::cluster

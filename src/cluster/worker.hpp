@@ -1,0 +1,61 @@
+// A GrOUT Worker: one multi-GPU server running the GrCUDA intra-node
+// runtime, receiving CEs and array copies from the Controller.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "gpusim/gpu_node.hpp"
+#include "net/fabric.hpp"
+#include "runtime/intra_node_runtime.hpp"
+
+namespace grout::cluster {
+
+/// Global (controller-assigned) array identifier.
+using GlobalArrayId = std::uint32_t;
+
+class Worker {
+ public:
+  Worker(sim::Simulator& simulator, gpusim::GpuNodeConfig node_config, net::NodeId fabric_id,
+         runtime::StreamPolicyKind stream_policy, std::size_t streams_per_gpu,
+         sim::Tracer* tracer = nullptr);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] net::NodeId fabric_id() const { return fabric_id_; }
+  [[nodiscard]] gpusim::GpuNode& node() { return node_; }
+  [[nodiscard]] const gpusim::GpuNode& node() const { return node_; }
+  [[nodiscard]] runtime::IntraNodeRuntime& runtime() { return runtime_; }
+
+  /// Map a global array to this node's local allocation (lazily created).
+  uvm::ArrayId ensure_array(GlobalArrayId global, Bytes bytes, const std::string& name);
+
+  [[nodiscard]] bool has_array(GlobalArrayId global) const {
+    return local_ids_.contains(global);
+  }
+  [[nodiscard]] uvm::ArrayId local_array(GlobalArrayId global) const;
+
+  /// Execute a kernel CE whose params refer to *global* array ids; they are
+  /// translated to this node's local allocations. When `ready` is set the
+  /// kernel waits for it (the controller's control-message arrival).
+  runtime::Submission execute_kernel(gpusim::KernelLaunchSpec spec,
+                                     gpusim::EventPtr ready = nullptr);
+
+  /// Prepare an array for sending: gathers GPU-resident pages to host
+  /// memory after local writers finish. The returned submission's event
+  /// marks "host copy consistent, safe to put on the wire".
+  runtime::Submission stage_send(GlobalArrayId global);
+
+  /// Install an incoming copy once `arrival` (network) fires, ordered
+  /// against local readers/writers of the same array.
+  runtime::Submission accept_receive(GlobalArrayId global, gpusim::EventPtr arrival);
+
+ private:
+  gpusim::GpuNode node_;
+  runtime::IntraNodeRuntime runtime_;
+  net::NodeId fabric_id_;
+  std::unordered_map<GlobalArrayId, uvm::ArrayId> local_ids_;
+};
+
+}  // namespace grout::cluster

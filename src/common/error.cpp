@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace grout::detail {
+
+[[noreturn]] void throw_check_failed(std::string_view what, std::string_view msg,
+                                     const std::source_location& loc) {
+  std::ostringstream os;
+  os << what << " failed at " << loc.file_name() << ':' << loc.line() << " in "
+     << loc.function_name() << ": " << msg;
+  if (what == "precondition") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace grout::detail

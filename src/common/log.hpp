@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// Logging defaults to Warn so that tests and benches stay quiet; examples
+// raise the level to show the framework at work. Not intended to be hot-path
+// fast: the simulator's hot loops never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace grout {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-global log level.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component, const std::string& message);
+}
+
+/// Component-scoped logger; cheap to construct, hold by value.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_{std::move(component)} {}
+
+  template <typename... Args>
+  void trace(const Args&... args) const {
+    write(LogLevel::Trace, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    write(LogLevel::Debug, args...);
+  }
+  template <typename... Args>
+  void info(const Args&... args) const {
+    write(LogLevel::Info, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    write(LogLevel::Warn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    write(LogLevel::Error, args...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void write(LogLevel level, const Args&... args) const {
+    if (level < log_level()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::log_write(level, component_, os.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace grout

@@ -1,0 +1,18 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace grout {
+
+double Rng::next_gaussian() {
+  // Box-Muller; regenerate if u1 rounds to zero.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace grout

@@ -1,0 +1,22 @@
+// String helpers shared by the polyglot DSL parser and the bench printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grout {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace grout

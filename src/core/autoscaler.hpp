@@ -1,0 +1,87 @@
+// KPI-driven autoscaling heuristic (Section V-F).
+//
+// The paper observes a direct link between execution time and the
+// oversubscription factor and suggests a heuristic model that allocates
+// more nodes once the steep region is reached. This component implements
+// that suggestion: it watches per-kernel UVM reports and recommends the
+// smallest worker count that would keep every node's eviction intensity
+// under the storm threshold.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+#include "uvm/access.hpp"
+#include "uvm/tuning.hpp"
+
+namespace grout::core {
+
+struct AutoscaleDecision {
+  bool scale_out{false};
+  std::size_t recommended_workers{1};
+  std::string reason;
+};
+
+class KpiAutoscaler {
+ public:
+  /// The KPI keeps every device's oversubscription pressure under the storm
+  /// threshold with some margin, which avoids the cliff entirely.
+  explicit KpiAutoscaler(const uvm::UvmTuning& tuning, double margin = 0.8,
+                         std::size_t max_workers = 16)
+      : intensity_kpi_{tuning.storm_oversubscription_threshold * margin},
+        max_workers_{max_workers} {
+    GROUT_REQUIRE(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+  }
+
+  /// Feed every finished kernel's report.
+  void observe(const uvm::AccessReport& report) {
+    peak_intensity_ = std::max(peak_intensity_, report.oversubscription);
+    if (report.storm) ++storms_;
+    ++kernels_;
+  }
+
+  [[nodiscard]] double peak_intensity() const { return peak_intensity_; }
+  [[nodiscard]] std::size_t observed_storms() const { return storms_; }
+
+  /// Recommend a worker count for the observed pressure. Splitting a
+  /// working set over k nodes divides each node's eviction intensity by
+  /// roughly k (row-partitioned data), so the smallest satisfying count is
+  /// ceil(peak / kpi) relative to the current one.
+  [[nodiscard]] AutoscaleDecision recommend(std::size_t current_workers) const {
+    AutoscaleDecision d;
+    d.recommended_workers = current_workers;
+    if (kernels_ == 0 || peak_intensity_ <= intensity_kpi_) {
+      d.reason = "eviction intensity within KPI";
+      return d;
+    }
+    const double factor = peak_intensity_ / intensity_kpi_;
+    const std::size_t target = std::min(
+        max_workers_,
+        std::max<std::size_t>(current_workers + 1,
+                              static_cast<std::size_t>(std::ceil(
+                                  static_cast<double>(current_workers) * factor))));
+    d.scale_out = target > current_workers;
+    d.recommended_workers = target;
+    d.reason = "peak device oversubscription " + std::to_string(peak_intensity_) +
+               " exceeds KPI " + std::to_string(intensity_kpi_);
+    return d;
+  }
+
+  void reset() {
+    peak_intensity_ = 0.0;
+    storms_ = 0;
+    kernels_ = 0;
+  }
+
+ private:
+  double intensity_kpi_;
+  std::size_t max_workers_;
+  double peak_intensity_{0.0};
+  std::size_t storms_{0};
+  std::size_t kernels_{0};
+};
+
+}  // namespace grout::core

@@ -1,0 +1,99 @@
+// Controller-side coherence directory.
+//
+// Tracks, per logical array, which cluster locations hold an up-to-date
+// copy. The invariant "at least one holder" always holds; writers collapse
+// the set to themselves; completed transfers add readers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/location_set.hpp"
+
+namespace grout::core {
+
+using GlobalArrayId = std::uint32_t;
+
+class CoherenceDirectory {
+ public:
+  explicit CoherenceDirectory(std::size_t workers) : workers_{workers} {}
+
+  /// Register an array; initially owned by the controller (where the user
+  /// program allocates and initializes it).
+  GlobalArrayId register_array(Bytes bytes, std::string name);
+
+  [[nodiscard]] std::size_t array_count() const { return entries_.size(); }
+  [[nodiscard]] Bytes bytes_of(GlobalArrayId id) const { return entry(id).bytes; }
+  [[nodiscard]] const std::string& name_of(GlobalArrayId id) const { return entry(id).name; }
+  [[nodiscard]] const LocationSet& holders(GlobalArrayId id) const { return entry(id).holders; }
+
+  [[nodiscard]] bool up_to_date_on_worker(GlobalArrayId id, std::size_t worker) const {
+    return entry(id).holders.worker(worker);
+  }
+  [[nodiscard]] bool up_to_date_on_controller(GlobalArrayId id) const {
+    return entry(id).holders.controller();
+  }
+  /// Paper Algorithm 1: "upToDateOnlyOnController(param)".
+  [[nodiscard]] bool only_on_controller(GlobalArrayId id) const {
+    const LocationSet& h = entry(id).holders;
+    return h.controller() && h.holder_count() == 1;
+  }
+
+  /// A transfer landed on `worker`: it now also holds a valid copy.
+  void add_worker_copy(GlobalArrayId id, std::size_t worker) {
+    entry_mut(id).holders.add_worker(worker);
+    check_invariant(id);
+  }
+  void add_controller_copy(GlobalArrayId id) {
+    entry_mut(id).holders.add_controller();
+    check_invariant(id);
+  }
+
+  /// A CE wrote the array on `worker`: exclusive ownership.
+  void written_on_worker(GlobalArrayId id, std::size_t worker) {
+    entry_mut(id).holders.reset_to_worker(worker);
+    check_invariant(id);
+  }
+  /// The controller-side program wrote the array (e.g. initialization).
+  void written_on_controller(GlobalArrayId id) {
+    entry_mut(id).holders.reset_to_controller();
+    check_invariant(id);
+  }
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Bytes bytes{0};
+    LocationSet holders;
+  };
+
+  const Entry& entry(GlobalArrayId id) const {
+    GROUT_REQUIRE(id < entries_.size(), "unknown global array");
+    return entries_[id];
+  }
+  Entry& entry_mut(GlobalArrayId id) {
+    GROUT_REQUIRE(id < entries_.size(), "unknown global array");
+    return entries_[id];
+  }
+  void check_invariant(GlobalArrayId id) const {
+    GROUT_CHECK(entry(id).holders.any(), "array lost its last up-to-date copy");
+  }
+
+  std::size_t workers_;
+  std::vector<Entry> entries_;
+};
+
+inline GlobalArrayId CoherenceDirectory::register_array(Bytes bytes, std::string name) {
+  Entry e;
+  e.name = std::move(name);
+  e.bytes = bytes;
+  e.holders = LocationSet(workers_);
+  e.holders.add_controller();
+  entries_.push_back(std::move(e));
+  return static_cast<GlobalArrayId>(entries_.size() - 1);
+}
+
+}  // namespace grout::core

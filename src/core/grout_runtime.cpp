@@ -1,0 +1,224 @@
+#include "core/grout_runtime.hpp"
+
+#include <chrono>
+
+#include "net/message.hpp"
+
+namespace grout::core {
+
+namespace {
+using WallClock = std::chrono::steady_clock;
+}
+
+GroutRuntime::GroutRuntime(GroutConfig config)
+    : config_{std::move(config)},
+      cluster_{std::make_unique<cluster::Cluster>(config_.cluster)},
+      directory_{config_.cluster.workers} {
+  const bool min_transfer = config_.policy == PolicyKind::MinTransferSize ||
+                            config_.policy == PolicyKind::MinTransferTime;
+  if (min_transfer && config_.exploration_threshold_override.has_value()) {
+    policy_ = std::make_unique<MinTransferPolicy>(
+        config_.policy == PolicyKind::MinTransferTime,
+        *config_.exploration_threshold_override);
+  } else {
+    policy_ = make_policy(config_.policy, config_.step_vector, config_.exploration);
+  }
+  metrics_.assignments.assign(config_.cluster.workers, 0);
+}
+
+GlobalArrayId GroutRuntime::alloc(Bytes bytes, std::string name) {
+  return directory_.register_array(bytes, std::move(name));
+}
+
+void GroutRuntime::host_init(GlobalArrayId array) {
+  // Controller-side writes touch only controller memory; the directory
+  // update invalidates every worker copy for future CEs. Worker-side CEs
+  // already scheduled keep their own (consistent) snapshots.
+  global_dag_.add("host-init:" + directory_.name_of(array),
+                  {dag::AccessSummary{array, true}});
+  directory_.written_on_controller(array);
+}
+
+void GroutRuntime::advise(GlobalArrayId array, uvm::Advise advise) {
+  GROUT_REQUIRE(array < directory_.array_count(), "unknown global array");
+  advises_[array] = advise;
+  for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
+    cluster::Worker& worker = cluster_->worker(w);
+    if (worker.has_array(array)) {
+      worker.node().uvm().advise(worker.local_array(array), advise);
+    }
+  }
+}
+
+CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
+  const auto t0 = WallClock::now();
+
+  // 1. Global DAG insertion (frontier scan + redundant-edge filtering).
+  std::vector<dag::AccessSummary> accesses;
+  accesses.reserve(spec.params.size());
+  for (const auto& p : spec.params) {
+    accesses.push_back(dag::AccessSummary{p.array, uvm::writes(p.mode)});
+  }
+  const dag::VertexId v = global_dag_.add(spec.name, std::move(accesses));
+
+  // 2. Node-level policy decision.
+  std::vector<PlacementParam> params;
+  params.reserve(spec.params.size());
+  for (const auto& p : spec.params) {
+    params.push_back(PlacementParam{static_cast<GlobalArrayId>(p.array),
+                                    directory_.bytes_of(static_cast<GlobalArrayId>(p.array)),
+                                    uvm::reads(p.mode)});
+  }
+  PlacementQuery query;
+  query.params = &params;
+  query.directory = &directory_;
+  query.fabric = &cluster_->fabric();
+  query.workers = cluster_->worker_count();
+  query.outstanding = &metrics_.assignments;
+  const std::size_t w = policy_->assign(query);
+  GROUT_CHECK(w < cluster_->worker_count(), "policy returned an invalid worker");
+
+  // 3. Data movements implied by the placement (Algorithm 1, last loop).
+  cluster::Worker& worker = cluster_->worker(w);
+  for (const auto& p : spec.params) {
+    const auto id = static_cast<GlobalArrayId>(p.array);
+    const bool fresh = !worker.has_array(id);
+    worker.ensure_array(id, directory_.bytes_of(id), directory_.name_of(id));
+    if (fresh) {
+      if (const auto it = advises_.find(id); it != advises_.end()) {
+        worker.node().uvm().advise(worker.local_array(id), it->second);
+      }
+    }
+  }
+  for (const PlacementParam& p : params) {
+    if (!p.needs_data) continue;
+    if (gpusim::EventPtr arrival = plan_movement(p, w)) {
+      // The arrival CE is already ordered inside the worker's Local DAG;
+      // nothing else to wire here.
+      (void)arrival;
+    }
+  }
+
+  // 4. Marshal the CE and send it to the worker over the control lane; the
+  //    worker-side execution is gated on the message's arrival.
+  std::vector<std::byte> wire;
+  const Bytes message_bytes = net::encode_ce(spec, wire);
+  gpusim::EventPtr ce_arrival = cluster_->fabric().send_control(
+      cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), message_bytes);
+
+  const auto t1 = WallClock::now();
+  metrics_.decision_ns.add(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  ++metrics_.ces_scheduled;
+  ++metrics_.assignments[w];
+
+  // 5. Forward the CE to the Worker's intra-node runtime (Algorithm 2).
+  for (const auto& p : spec.params) {
+    if (uvm::writes(p.mode)) {
+      directory_.written_on_worker(static_cast<GlobalArrayId>(p.array), w);
+    }
+  }
+  runtime::Submission sub = worker.execute_kernel(std::move(spec), std::move(ce_arrival));
+  sub.done->on_complete([this, v] { global_dag_.mark_done(v); });
+  pending_.push_back(sub.done);
+  return CeTicket{v, w, std::move(sub.done)};
+}
+
+gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::size_t worker) {
+  const GlobalArrayId id = param.array;
+  if (directory_.up_to_date_on_worker(id, worker)) return nullptr;
+
+  cluster::Worker& dst = cluster_->worker(worker);
+  const net::NodeId dst_fid = cluster::Cluster::worker_fabric_id(worker);
+  const LocationSet& holders = directory_.holders(id);
+
+  gpusim::EventPtr transfer_done;
+  if (directory_.only_on_controller(id) || holders.controller()) {
+    // Controller holds a current copy: direct send (Algorithm 1's
+    // scheduledNode.send(param) branch).
+    transfer_done = cluster_->fabric().transfer(cluster::Cluster::controller_id(), dst_fid,
+                                                param.bytes,
+                                                "ctl->" + std::to_string(worker) + ":" +
+                                                    directory_.name_of(id));
+    ++metrics_.controller_sends;
+  } else {
+    // P2P branch: pick the up-to-date worker with the fastest route.
+    const std::vector<std::size_t> sources = holders.worker_holders();
+    GROUT_CHECK(!sources.empty(), "no source for a required parameter");
+    std::size_t best = sources.front();
+    double best_bps = 0.0;
+    for (const std::size_t s : sources) {
+      const double bps =
+          cluster_->fabric().bandwidth(cluster::Cluster::worker_fabric_id(s), dst_fid).bps();
+      if (bps > best_bps) {
+        best_bps = bps;
+        best = s;
+      }
+    }
+    // The source worker must gather the array to its host memory first
+    // (its local DAG orders this after local writers).
+    runtime::Submission staged = cluster_->worker(best).stage_send(id);
+    transfer_done = cluster_->fabric().transfer(
+        cluster::Cluster::worker_fabric_id(best), dst_fid, param.bytes,
+        "p2p" + std::to_string(best) + "->" + std::to_string(worker) + ":" +
+            directory_.name_of(id),
+        staged.done);
+    ++metrics_.p2p_sends;
+  }
+  metrics_.bytes_planned += param.bytes;
+
+  runtime::Submission arrival = dst.accept_receive(id, transfer_done);
+  pending_.push_back(arrival.done);
+  directory_.add_worker_copy(id, worker);
+  return arrival.done;
+}
+
+void GroutRuntime::host_fetch(GlobalArrayId array) {
+  if (directory_.up_to_date_on_controller(array)) return;
+  const LocationSet& holders = directory_.holders(array);
+  const std::vector<std::size_t> sources = holders.worker_holders();
+  GROUT_CHECK(!sources.empty(), "no holder for array");
+  // Fastest route to the controller.
+  std::size_t best = sources.front();
+  double best_bps = 0.0;
+  for (const std::size_t s : sources) {
+    const double bps = cluster_->fabric()
+                           .bandwidth(cluster::Cluster::worker_fabric_id(s),
+                                      cluster::Cluster::controller_id())
+                           .bps();
+    if (bps > best_bps) {
+      best_bps = bps;
+      best = s;
+    }
+  }
+  runtime::Submission staged = cluster_->worker(best).stage_send(array);
+  gpusim::EventPtr landed = cluster_->fabric().transfer(
+      cluster::Cluster::worker_fabric_id(best), cluster::Cluster::controller_id(),
+      directory_.bytes_of(array), "fetch:" + directory_.name_of(array), staged.done);
+
+  sim::Simulator& sim = cluster_->simulator();
+  while (!landed->completed()) {
+    GROUT_CHECK(sim.step(), "deadlock while fetching an array to the controller");
+  }
+  directory_.add_controller_copy(array);
+}
+
+bool GroutRuntime::synchronize() {
+  return cluster_->simulator().run_until(config_.run_cap);
+}
+
+uvm::UvmStats GroutRuntime::aggregated_uvm_stats() const {
+  uvm::UvmStats total;
+  for (std::size_t i = 0; i < cluster_->worker_count(); ++i) {
+    const uvm::UvmStats& s = cluster_->worker(i).node().uvm().stats();
+    total.bytes_fetched += s.bytes_fetched;
+    total.bytes_written_back += s.bytes_written_back;
+    total.faults += s.faults;
+    total.evictions += s.evictions;
+    total.storm_kernels += s.storm_kernels;
+    total.kernels += s.kernels;
+  }
+  return total;
+}
+
+}  // namespace grout::core

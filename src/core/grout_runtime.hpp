@@ -1,0 +1,113 @@
+// GroutRuntime: the Controller (Figure 3) and the node-level half of the
+// hierarchical scheduler (Algorithm 1).
+//
+// The user program allocates logical arrays, initializes them on the
+// controller, and launches kernel CEs; the runtime
+//   1. inserts each CE into the Global DAG (frontier + redundant-edge
+//      filtering),
+//   2. applies the selected inter-node policy to pick a Worker,
+//   3. plans the implied data movements (controller->worker send, or P2P
+//      between workers) and wires them as events,
+//   4. forwards the CE to the Worker's GrCUDA intra-node runtime, which
+//      picks a CUDA stream and inserts the async waits (Algorithm 2).
+//
+// All of this is real scheduler code; only kernels, PCIe and the network
+// advance the virtual clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/directory.hpp"
+#include "core/metrics.hpp"
+#include "core/policies.hpp"
+#include "dag/dependency_dag.hpp"
+
+namespace grout::core {
+
+struct GroutConfig {
+  cluster::ClusterConfig cluster{};
+  PolicyKind policy{PolicyKind::VectorStep};
+  std::vector<std::uint32_t> step_vector{1};
+  ExplorationLevel exploration{ExplorationLevel::Medium};
+  /// When set, overrides the exploration level with a raw viability
+  /// threshold in [0, 1] for the min-transfer policies (ablation sweeps).
+  std::optional<double> exploration_threshold_override{};
+  /// Per-run execution cap (the paper caps single runs at 2.5 hours).
+  SimTime run_cap = SimTime::from_seconds(9000.0);
+};
+
+/// Handle to a launched CE.
+struct CeTicket {
+  dag::VertexId global_vertex{dag::kNoVertex};
+  std::size_t worker{0};
+  gpusim::EventPtr done;
+};
+
+class GroutRuntime {
+ public:
+  explicit GroutRuntime(GroutConfig config);
+
+  GroutRuntime(const GroutRuntime&) = delete;
+  GroutRuntime& operator=(const GroutRuntime&) = delete;
+
+  // -- user program surface -------------------------------------------------
+
+  /// Allocate a logical array; the controller holds the initial copy.
+  GlobalArrayId alloc(Bytes bytes, std::string name);
+
+  /// Controller-side initialization (Listing 1's host writes): the
+  /// controller copy becomes the single authoritative one.
+  void host_init(GlobalArrayId array);
+
+  /// Record a device-agnostic memory advise (e.g. ReadMostly); it is
+  /// applied to every worker's local allocation, present and future.
+  void advise(GlobalArrayId array, uvm::Advise advise);
+
+  /// Launch a kernel CE; `spec.params[*].array` hold GlobalArrayIds.
+  CeTicket launch(gpusim::KernelLaunchSpec spec);
+
+  /// Make the controller copy current (e.g. before printing results).
+  /// Blocks — advances virtual time — until the gather completes.
+  void host_fetch(GlobalArrayId array);
+
+  /// Drain all outstanding work. Returns false if the run cap expired with
+  /// work still pending (the paper's out-of-time condition).
+  bool synchronize();
+
+  [[nodiscard]] SimTime now() const { return cluster_->simulator().now(); }
+
+  // -- introspection ---------------------------------------------------------
+
+  [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] const CoherenceDirectory& directory() const { return directory_; }
+  [[nodiscard]] const dag::DependencyDag& global_dag() const { return global_dag_; }
+  [[nodiscard]] SchedulerMetrics& metrics() { return metrics_; }
+  [[nodiscard]] PolicyKind policy() const { return policy_->kind(); }
+
+  /// Aggregated UVM stats over all workers (storm counters etc.).
+  [[nodiscard]] uvm::UvmStats aggregated_uvm_stats() const;
+
+ private:
+  /// Plan and wire the transfers needed so `worker` holds `param` (Alg. 1,
+  /// data-movement loop). Returns the arrival event, or nullptr if no
+  /// movement was needed.
+  gpusim::EventPtr plan_movement(const PlacementParam& param, std::size_t worker);
+
+  GroutConfig config_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  CoherenceDirectory directory_;
+  dag::DependencyDag global_dag_;
+  std::unique_ptr<InterNodePolicy> policy_;
+  SchedulerMetrics metrics_;
+  /// Completion events of all submitted CEs (for synchronize()).
+  std::vector<gpusim::EventPtr> pending_;
+  /// Device-agnostic advises to apply to worker-local allocations.
+  std::unordered_map<GlobalArrayId, uvm::Advise> advises_;
+};
+
+}  // namespace grout::core

@@ -1,0 +1,64 @@
+// Set of cluster locations (controller + workers) holding an up-to-date
+// copy of an array.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace grout::core {
+
+class LocationSet {
+ public:
+  explicit LocationSet(std::size_t workers = 0) : workers_(workers, false) {}
+
+  [[nodiscard]] std::size_t worker_slots() const { return workers_.size(); }
+
+  [[nodiscard]] bool controller() const { return controller_; }
+  [[nodiscard]] bool worker(std::size_t i) const {
+    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+    return workers_[i];
+  }
+
+  void add_controller() { controller_ = true; }
+  void add_worker(std::size_t i) {
+    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+    workers_[i] = true;
+  }
+
+  /// Exclusive ownership after a write.
+  void reset_to_controller() {
+    controller_ = true;
+    workers_.assign(workers_.size(), false);
+  }
+  void reset_to_worker(std::size_t i) {
+    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+    controller_ = false;
+    workers_.assign(workers_.size(), false);
+    workers_[i] = true;
+  }
+
+  [[nodiscard]] std::size_t holder_count() const {
+    std::size_t n = controller_ ? 1 : 0;
+    for (const bool w : workers_) n += w ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] bool any() const { return holder_count() > 0; }
+
+  /// Worker holders, ascending.
+  [[nodiscard]] std::vector<std::size_t> worker_holders() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i]) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  bool controller_{false};
+  std::vector<bool> workers_;
+};
+
+}  // namespace grout::core

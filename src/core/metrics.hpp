@@ -1,0 +1,28 @@
+// Controller-side scheduler metrics.
+//
+// Scheduling-decision latencies are *real wall-clock nanoseconds* of the
+// actual scheduler code path (the quantity Figure 9 reports); everything
+// else is simulated-world accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace grout::core {
+
+struct SchedulerMetrics {
+  /// Wall-clock nanoseconds per node-level scheduling decision.
+  SampleSet decision_ns;
+  /// CE placements per worker.
+  std::vector<std::uint64_t> assignments;
+  /// Inbound transfers issued by the data-movement planner.
+  std::uint64_t controller_sends{0};
+  std::uint64_t p2p_sends{0};
+  Bytes bytes_planned{0};
+  std::uint64_t ces_scheduled{0};
+};
+
+}  // namespace grout::core

@@ -1,0 +1,197 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace grout::core {
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::RoundRobin: return "round-robin";
+    case PolicyKind::VectorStep: return "vector-step";
+    case PolicyKind::MinTransferSize: return "min-transfer-size";
+    case PolicyKind::MinTransferTime: return "min-transfer-time";
+    case PolicyKind::Random: return "random";
+    case PolicyKind::LeastOutstanding: return "least-outstanding";
+  }
+  return "?";
+}
+
+const char* to_string(ExplorationLevel e) {
+  switch (e) {
+    case ExplorationLevel::Low: return "low";
+    case ExplorationLevel::Medium: return "medium";
+    case ExplorationLevel::High: return "high";
+  }
+  return "?";
+}
+
+double exploration_threshold(ExplorationLevel e) {
+  switch (e) {
+    case ExplorationLevel::Low: return 0.25;
+    case ExplorationLevel::Medium: return 0.50;
+    case ExplorationLevel::High: return 0.75;
+  }
+  return 0.50;
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin
+// ---------------------------------------------------------------------------
+
+std::size_t RoundRobinPolicy::assign(const PlacementQuery& q) {
+  GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+  const std::size_t node = cursor_;
+  cursor_ = (cursor_ + 1) % q.workers;
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Vector-step
+// ---------------------------------------------------------------------------
+
+VectorStepPolicy::VectorStepPolicy(std::vector<std::uint32_t> steps) : steps_{std::move(steps)} {
+  GROUT_REQUIRE(!steps_.empty(), "vector-step requires a non-empty vector");
+  for (const std::uint32_t s : steps_) {
+    GROUT_REQUIRE(s > 0, "vector-step entries must be positive");
+  }
+}
+
+std::size_t VectorStepPolicy::assign(const PlacementQuery& q) {
+  GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+  const std::size_t node = node_cursor_ % q.workers;
+  if (++step_count_ >= steps_[step_index_]) {
+    step_count_ = 0;
+    step_index_ = (step_index_ + 1) % steps_.size();
+    ++node_cursor_;
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Min-transfer-{size,time}
+// ---------------------------------------------------------------------------
+
+MinTransferPolicy::MinTransferPolicy(bool by_time, ExplorationLevel exploration)
+    : by_time_{by_time}, threshold_{exploration_threshold(exploration)} {}
+
+MinTransferPolicy::MinTransferPolicy(bool by_time, double threshold)
+    : by_time_{by_time}, threshold_{threshold} {
+  GROUT_REQUIRE(threshold >= 0.0 && threshold <= 1.0, "threshold must be in [0, 1]");
+}
+
+std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
+  GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+  GROUT_REQUIRE(q.params != nullptr && q.directory != nullptr,
+                "min-transfer policies need CE parameters and the directory");
+  if (by_time_) {
+    GROUT_REQUIRE(q.fabric != nullptr, "min-transfer-time needs the bandwidth matrix");
+  }
+
+  Bytes total_input = 0;
+  for (const PlacementParam& p : *q.params) {
+    if (p.needs_data) total_input += p.bytes;
+  }
+
+  // Pure-output CEs carry no locality signal: explore.
+  if (total_input == 0) {
+    const std::size_t node = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
+    return node;
+  }
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t best_node = q.workers;  // sentinel: none viable yet
+  for (std::size_t w = 0; w < q.workers; ++w) {
+    Bytes available = 0;
+    double cost = 0.0;
+    for (const PlacementParam& p : *q.params) {
+      if (!p.needs_data) continue;
+      const LocationSet& holders = q.directory->holders(p.array);
+      if (holders.worker(w)) {
+        available += p.bytes;
+        continue;
+      }
+      if (by_time_) {
+        // Best source: controller or the fastest P2P holder.
+        const net::NodeId dst = static_cast<net::NodeId>(w + 1);
+        double best_bps = 0.0;
+        if (holders.controller()) {
+          best_bps = q.fabric->bandwidth(0, dst).bps();
+        }
+        for (const std::size_t src : holders.worker_holders()) {
+          best_bps = std::max(best_bps,
+                              q.fabric->bandwidth(static_cast<net::NodeId>(src + 1), dst).bps());
+        }
+        GROUT_CHECK(best_bps > 0.0, "no route for a held array");
+        cost += static_cast<double>(p.bytes) / best_bps;
+      } else {
+        cost += static_cast<double>(p.bytes);
+      }
+    }
+    // Exploration heuristic: only nodes already holding enough of the
+    // inputs are viable for exploitation.
+    const double avail_fraction =
+        static_cast<double>(available) / static_cast<double>(total_input);
+    if (avail_fraction + 1e-12 < threshold_) continue;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_node = w;
+    }
+  }
+
+  if (best_node == q.workers) {
+    // Nothing viable: fall back to round-robin (exploration).
+    const std::size_t node = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
+    return node;
+  }
+  return best_node;
+}
+
+// ---------------------------------------------------------------------------
+// Extension policies
+// ---------------------------------------------------------------------------
+
+std::size_t RandomPolicy::assign(const PlacementQuery& q) {
+  GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+  return rng_.next_below(q.workers);
+}
+
+std::size_t LeastOutstandingPolicy::assign(const PlacementQuery& q) {
+  GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+  if (q.outstanding == nullptr || q.outstanding->size() != q.workers) {
+    const std::size_t node = rr_cursor_;
+    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
+    return node;
+  }
+  std::size_t best = 0;
+  for (std::size_t w = 1; w < q.workers; ++w) {
+    if ((*q.outstanding)[w] < (*q.outstanding)[best]) best = w;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<InterNodePolicy> make_policy(PolicyKind kind,
+                                             std::vector<std::uint32_t> step_vector,
+                                             ExplorationLevel exploration) {
+  switch (kind) {
+    case PolicyKind::RoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::VectorStep:
+      return std::make_unique<VectorStepPolicy>(std::move(step_vector));
+    case PolicyKind::MinTransferSize:
+      return std::make_unique<MinTransferPolicy>(false, exploration);
+    case PolicyKind::MinTransferTime:
+      return std::make_unique<MinTransferPolicy>(true, exploration);
+    case PolicyKind::Random: return std::make_unique<RandomPolicy>();
+    case PolicyKind::LeastOutstanding: return std::make_unique<LeastOutstandingPolicy>();
+  }
+  GROUT_CHECK(false, "unhandled policy kind");
+  return nullptr;
+}
+
+}  // namespace grout::core

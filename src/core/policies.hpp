@@ -1,0 +1,139 @@
+// Inter-node scheduling policies (Section IV-D / Figure 4).
+//
+// Offline (workload-oblivious) policies:
+//   round-robin  — next node each CE, circular.
+//   vector-step  — user-provided vector of CE counts per node.
+// Online (data-aware) policies:
+//   min-transfer-size — node minimizing bytes to move.
+//   min-transfer-time — node minimizing estimated transfer time, using the
+//                       interconnection bandwidth matrix probed at startup.
+//
+// The online policies carry an exploration-vs-exploitation threshold
+// (Section V-E): a node is only *viable* for exploitation when it already
+// holds at least `threshold` of the CE's input bytes; with no viable node
+// the policy falls back to round-robin (exploration).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/directory.hpp"
+#include "net/fabric.hpp"
+
+namespace grout::core {
+
+enum class PolicyKind : std::uint8_t {
+  RoundRobin,
+  VectorStep,
+  MinTransferSize,
+  MinTransferTime,
+  // Extensions beyond the paper's four (Section IV-D: "policies can be
+  // easily implemented into the framework"):
+  Random,            ///< uniform random node — a second exploration baseline
+  LeastOutstanding,  ///< node with the fewest CEs assigned so far
+};
+
+const char* to_string(PolicyKind k);
+
+enum class ExplorationLevel : std::uint8_t { Low, Medium, High };
+
+const char* to_string(ExplorationLevel e);
+
+/// Up-to-date-data threshold for each exploration level.
+double exploration_threshold(ExplorationLevel e);
+
+/// One CE parameter as the node-level scheduler sees it.
+struct PlacementParam {
+  GlobalArrayId array{0};
+  Bytes bytes{0};
+  bool needs_data{true};  ///< false for pure outputs: no inbound transfer
+};
+
+/// Everything a policy may consult when placing a CE.
+struct PlacementQuery {
+  const std::vector<PlacementParam>* params{nullptr};
+  const CoherenceDirectory* directory{nullptr};
+  const net::NetworkFabric* fabric{nullptr};  ///< may be null for static policies
+  std::size_t workers{0};
+  /// CEs assigned so far per worker (null when the caller does not track
+  /// it); consumed by LeastOutstanding.
+  const std::vector<std::uint64_t>* outstanding{nullptr};
+};
+
+class InterNodePolicy {
+ public:
+  virtual ~InterNodePolicy() = default;
+
+  /// Pick the worker index a CE should run on.
+  virtual std::size_t assign(const PlacementQuery& q) = 0;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+};
+
+class RoundRobinPolicy final : public InterNodePolicy {
+ public:
+  std::size_t assign(const PlacementQuery& q) override;
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::RoundRobin; }
+
+ private:
+  std::size_t cursor_{0};
+};
+
+class VectorStepPolicy final : public InterNodePolicy {
+ public:
+  explicit VectorStepPolicy(std::vector<std::uint32_t> steps);
+  std::size_t assign(const PlacementQuery& q) override;
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::VectorStep; }
+
+ private:
+  std::vector<std::uint32_t> steps_;
+  std::size_t step_index_{0};    ///< which vector entry is active
+  std::uint32_t step_count_{0};  ///< CEs already assigned under that entry
+  std::size_t node_cursor_{0};
+};
+
+class MinTransferPolicy final : public InterNodePolicy {
+ public:
+  /// `by_time` selects min-transfer-time; otherwise min-transfer-size.
+  MinTransferPolicy(bool by_time, ExplorationLevel exploration);
+  /// Raw viability threshold in [0, 1] (ablation studies sweep this).
+  MinTransferPolicy(bool by_time, double threshold);
+  std::size_t assign(const PlacementQuery& q) override;
+  [[nodiscard]] PolicyKind kind() const override {
+    return by_time_ ? PolicyKind::MinTransferTime : PolicyKind::MinTransferSize;
+  }
+
+ private:
+  bool by_time_;
+  double threshold_;
+  std::size_t rr_cursor_{0};  ///< exploration fallback state
+};
+
+class RandomPolicy final : public InterNodePolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0x9e3779b9ULL) : rng_{seed} {}
+  std::size_t assign(const PlacementQuery& q) override;
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::Random; }
+
+ private:
+  Rng rng_;
+};
+
+class LeastOutstandingPolicy final : public InterNodePolicy {
+ public:
+  std::size_t assign(const PlacementQuery& q) override;
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::LeastOutstanding; }
+
+ private:
+  std::size_t rr_cursor_{0};  ///< fallback when no outstanding counts exist
+};
+
+/// Factory covering every policy.
+std::unique_ptr<InterNodePolicy> make_policy(PolicyKind kind,
+                                             std::vector<std::uint32_t> step_vector = {1},
+                                             ExplorationLevel exploration = ExplorationLevel::Medium);
+
+}  // namespace grout::core

@@ -1,0 +1,137 @@
+#include "dag/dependency_dag.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace grout::dag {
+
+VertexId DependencyDag::add(std::string label, std::vector<AccessSummary> accesses) {
+  const VertexId v = vertices_.size();
+
+  // Collect conflict ancestors from the per-array frontier state:
+  //   read  X -> depends on last writer of X            (RAW)
+  //   write X -> depends on last writer (WAW) and on every reader since (WAR)
+  std::vector<VertexId> candidates;
+  for (const AccessSummary& a : accesses) {
+    GROUT_REQUIRE(a.array != uvm::kInvalidArray, "access to invalid array");
+    auto it = per_array_.find(a.array);
+    if (it == per_array_.end()) continue;
+    const ArrayTrack& track = it->second;
+    if (track.last_writer != kNoVertex) candidates.push_back(track.last_writer);
+    if (a.write) {
+      candidates.insert(candidates.end(), track.readers_since_write.begin(),
+                        track.readers_since_write.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  std::vector<VertexId> ancestors = filter_redundant(std::move(candidates));
+
+  Vertex vertex;
+  vertex.label = std::move(label);
+  vertex.accesses = accesses;
+  vertex.ancestors = ancestors;
+  vertices_.push_back(std::move(vertex));
+
+  for (const VertexId a : ancestors) {
+    vertices_[a].successors.push_back(v);
+    ++edges_;
+  }
+
+  // Update the frontier state.
+  for (const AccessSummary& a : accesses) {
+    ArrayTrack& track = per_array_[a.array];
+    if (a.write) {
+      track.last_writer = v;
+      track.readers_since_write.clear();
+    } else {
+      track.readers_since_write.push_back(v);
+    }
+  }
+  return v;
+}
+
+void DependencyDag::mark_done(VertexId v) {
+  GROUT_REQUIRE(v < vertices_.size(), "unknown vertex");
+  vertices_[v].done = true;
+}
+
+std::vector<VertexId> DependencyDag::frontier() const {
+  std::unordered_set<VertexId> members;
+  for (const auto& [array, track] : per_array_) {
+    (void)array;
+    if (track.last_writer != kNoVertex) members.insert(track.last_writer);
+    members.insert(track.readers_since_write.begin(), track.readers_since_write.end());
+  }
+  std::vector<VertexId> out(members.begin(), members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool DependencyDag::is_ancestor(VertexId ancestor, VertexId v) const {
+  GROUT_REQUIRE(ancestor < vertices_.size() && v < vertices_.size(), "unknown vertex");
+  if (ancestor >= v) return false;  // edges only point forward in insertion order
+  // DFS along direct ancestors; vertex ids are insertion-ordered so the
+  // search space is bounded by v's ancestry.
+  std::vector<VertexId> stack{v};
+  std::unordered_set<VertexId> visited;
+  while (!stack.empty()) {
+    const VertexId cur = stack.back();
+    stack.pop_back();
+    for (const VertexId a : vertices_[cur].ancestors) {
+      if (a == ancestor) return true;
+      if (a > ancestor && visited.insert(a).second) stack.push_back(a);
+    }
+  }
+  return false;
+}
+
+bool DependencyDag::edges_respect_insertion_order() const {
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const VertexId a : vertices_[v].ancestors) {
+      if (a >= v) return false;
+    }
+  }
+  return true;
+}
+
+std::string DependencyDag::to_dot(
+    const std::function<std::string(VertexId)>& node_annotation) const {
+  std::string dot = "digraph ces {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    dot += "  n" + std::to_string(v) + " [label=\"" + vertices_[v].label;
+    if (node_annotation) {
+      const std::string extra = node_annotation(v);
+      if (!extra.empty()) dot += "\\n" + extra;
+    }
+    dot += "\"];\n";
+  }
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const VertexId a : vertices_[v].ancestors) {
+      dot += "  n" + std::to_string(a) + " -> n" + std::to_string(v) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+std::vector<VertexId> DependencyDag::filter_redundant(std::vector<VertexId> candidates) const {
+  if (candidates.size() <= 1) return candidates;
+  std::vector<VertexId> kept;
+  kept.reserve(candidates.size());
+  for (const VertexId a : candidates) {
+    bool dominated = false;
+    for (const VertexId b : candidates) {
+      if (a != b && is_ancestor(a, b)) {
+        // Waiting on b transitively waits on a: the a-edge is redundant.
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(a);
+  }
+  return kept;
+}
+
+}  // namespace grout::dag

@@ -1,0 +1,27 @@
+// Static GPU device description and the kernel cost model inputs.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace grout::gpusim {
+
+struct DeviceSpec {
+  std::string name{"V100-16GB"};
+  Bytes memory{16_GiB};
+  /// Sustained FP32 throughput (TFLOP/s); V100 peak is 15.7, sustained ~80%.
+  double fp32_tflops{12.5};
+  /// Sustained HBM2 bandwidth; V100 peak 900 GB/s, sustained ~80%.
+  Bandwidth hbm_bw = Bandwidth::gib_per_sec(720.0);
+  /// PCIe 3.0 x16 host link.
+  Bandwidth pcie_bw = Bandwidth::gib_per_sec(12.0);
+  SimTime pcie_latency = SimTime::from_us(5.0);
+  /// Fixed driver-side launch cost per kernel.
+  SimTime launch_overhead = SimTime::from_us(8.0);
+};
+
+/// The evaluation platform of the paper: NVIDIA Tesla V100 16 GB.
+inline DeviceSpec v100() { return DeviceSpec{}; }
+
+}  // namespace grout::gpusim

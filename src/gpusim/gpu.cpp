@@ -1,0 +1,155 @@
+#include "gpusim/gpu.hpp"
+
+#include <algorithm>
+
+namespace grout::gpusim {
+
+// ---------------------------------------------------------------------------
+// Stream
+// ---------------------------------------------------------------------------
+
+Stream::Stream(Gpu& gpu, std::uint32_t id) : gpu_{gpu}, id_{id} {}
+
+void Stream::enqueue_kernel(KernelLaunchSpec spec, EventPtr end_event) {
+  queue_.push_back(KernelOp{std::move(spec), std::move(end_event)});
+  pump();
+}
+
+void Stream::enqueue_wait(EventPtr event) {
+  GROUT_REQUIRE(static_cast<bool>(event), "waiting on a null event");
+  queue_.push_back(WaitOp{std::move(event)});
+  pump();
+}
+
+void Stream::enqueue_record(EventPtr event) {
+  GROUT_REQUIRE(static_cast<bool>(event), "recording a null event");
+  queue_.push_back(RecordOp{std::move(event)});
+  pump();
+}
+
+void Stream::enqueue_host(std::function<void()> fn) {
+  GROUT_REQUIRE(static_cast<bool>(fn), "null host callback");
+  queue_.push_back(HostOp{std::move(fn)});
+  pump();
+}
+
+void Stream::enqueue_prefetch(uvm::ArrayId array, uvm::DeviceId target, EventPtr end_event) {
+  queue_.push_back(PrefetchOp{array, target, std::move(end_event)});
+  pump();
+}
+
+void Stream::pump() {
+  if (pumping_) return;  // re-entrancy guard: host ops may enqueue more work
+  pumping_ = true;
+  while (!busy_ && !queue_.empty()) {
+    Op& front = queue_.front();
+    if (auto* wait = std::get_if<WaitOp>(&front)) {
+      if (!wait->event->completed()) {
+        // Park until the event fires, then resume pumping.
+        EventPtr ev = wait->event;
+        pumping_ = false;
+        ev->on_complete([this] { pump(); });
+        return;
+      }
+      queue_.pop_front();
+    } else if (auto* rec = std::get_if<RecordOp>(&front)) {
+      EventPtr ev = std::move(rec->event);
+      queue_.pop_front();
+      ev->complete(gpu_.simulator().now());
+    } else if (auto* host = std::get_if<HostOp>(&front)) {
+      auto fn = std::move(host->fn);
+      queue_.pop_front();
+      fn();
+    } else if (auto* kernel = std::get_if<KernelOp>(&front)) {
+      KernelOp op = std::move(*kernel);
+      queue_.pop_front();
+      busy_ = true;
+      const SimTime end = gpu_.execute_kernel(op.spec);
+      last_known_end_ = std::max(last_known_end_, end);
+      gpu_.simulator().schedule_at(end, [this, ev = std::move(op.end_event)] {
+        busy_ = false;
+        if (ev) ev->complete(gpu_.simulator().now());
+        pump();
+      });
+    } else if (auto* pf = std::get_if<PrefetchOp>(&front)) {
+      PrefetchOp op = std::move(*pf);
+      queue_.pop_front();
+      busy_ = true;
+      const SimTime end = gpu_.uvm().prefetch(op.array, op.target);
+      last_known_end_ = std::max(last_known_end_, end);
+      gpu_.simulator().schedule_at(end, [this, ev = std::move(op.end_event)] {
+        busy_ = false;
+        if (ev) ev->complete(gpu_.simulator().now());
+        pump();
+      });
+    }
+  }
+  pumping_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Gpu
+// ---------------------------------------------------------------------------
+
+Gpu::Gpu(sim::Simulator& simulator, uvm::UvmSpace& uvm_space, uvm::DeviceId device_id,
+         DeviceSpec spec, sim::Tracer* tracer, std::string location)
+    : sim_{simulator},
+      uvm_{uvm_space},
+      device_id_{device_id},
+      spec_{std::move(spec)},
+      tracer_{tracer},
+      location_{std::move(location)} {
+  if (location_.empty()) location_ = spec_.name;
+  sm_ = std::make_unique<sim::Resource>(sim_, location_ + "/sm",
+                                        Bandwidth::bytes_per_sec(1.0), SimTime::zero());
+}
+
+Stream& Gpu::create_stream() {
+  streams_.push_back(std::make_unique<Stream>(*this, static_cast<std::uint32_t>(streams_.size())));
+  return *streams_.back();
+}
+
+Stream& Gpu::stream(std::uint32_t id) {
+  GROUT_REQUIRE(id < streams_.size(), "unknown stream id");
+  return *streams_[id];
+}
+
+SimTime Gpu::compute_time(double flops, Bytes bytes_touched) const {
+  const double flop_seconds = flops / (spec_.fp32_tflops * 1e12);
+  const double mem_seconds = static_cast<double>(bytes_touched) / spec_.hbm_bw.bps();
+  return SimTime::from_seconds(std::max(flop_seconds, mem_seconds));
+}
+
+SimTime Gpu::execute_kernel(const KernelLaunchSpec& spec) {
+  const SimTime start = sim_.now();
+  const uvm::DeviceAccessResult access =
+      uvm_.device_access(device_id_, spec.params, spec.parallelism);
+  const uvm::AccessReport& mem = access.report;
+
+  const SimTime compute = compute_time(spec.flops, mem.bytes_touched);
+  // Concurrent kernels on this GPU time-share the SMs: occupancy queues on
+  // the per-device compute resource (transfers overlap independently).
+  const SimTime compute_done = sm_->submit_duration(compute);
+
+  SimTime end;
+  if (mem.storm) {
+    // Fault replay storms stall the SMs; no transfer/compute overlap left.
+    end = std::max(access.h2d_done, access.d2h_done) + compute;
+  } else {
+    // Healthy/eviction regimes: migration pipelines with compute.
+    end = std::max({compute_done, access.h2d_done, access.d2h_done});
+  }
+  end += spec_.launch_overhead;
+
+  records_.push_back(KernelRecord{spec.name, start, end, compute, mem});
+  if (tracer_) {
+    tracer_->record(sim::TraceCategory::Kernel, spec.name, location_, start, end);
+    if (mem.fault_time > SimTime::zero()) {
+      tracer_->record(sim::TraceCategory::Migration, spec.name + "/faults", location_, start,
+                      start + mem.fault_time);
+    }
+  }
+  return end;
+}
+
+}  // namespace grout::gpusim

@@ -1,0 +1,35 @@
+// Kernel launch descriptors for the simulated GPU.
+//
+// A kernel is characterized by its total floating-point work, its
+// parallelism class (drives fault-replay pressure under UVM storms) and one
+// access descriptor per pointer parameter. The roofline combination with
+// the UVM stall report happens in Gpu::launch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "uvm/access.hpp"
+#include "uvm/types.hpp"
+
+namespace grout::gpusim {
+
+struct KernelLaunchSpec {
+  std::string name;
+  double flops{0.0};
+  uvm::Parallelism parallelism{uvm::Parallelism::High};
+  std::vector<uvm::ParamAccess> params;
+};
+
+/// Outcome of a finished kernel, for traces and tests.
+struct KernelRecord {
+  std::string name;
+  SimTime start;
+  SimTime end;
+  SimTime compute_time;
+  uvm::AccessReport memory;
+};
+
+}  // namespace grout::gpusim

@@ -1,0 +1,85 @@
+// CUDA-stream analogue: a FIFO of operations executed in order, with
+// cross-stream synchronization via CudaEvents (cudaStreamWaitEvent).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "gpusim/event.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace grout::gpusim {
+
+class Gpu;  // owner; executes kernel ops
+
+class Stream {
+ public:
+  Stream(Gpu& gpu, std::uint32_t id);
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// Enqueue a kernel; `end_event` completes when it finishes.
+  void enqueue_kernel(KernelLaunchSpec spec, EventPtr end_event);
+
+  /// Enqueue a wait: later ops do not start until `event` completes.
+  void enqueue_wait(EventPtr event);
+
+  /// Enqueue an event record: completes when all prior ops finished.
+  void enqueue_record(EventPtr event);
+
+  /// Enqueue a host callback (fires in FIFO position, zero duration).
+  void enqueue_host(std::function<void()> fn);
+
+  /// Enqueue a cudaMemPrefetchAsync of a whole array to this GPU or host.
+  void enqueue_prefetch(uvm::ArrayId array, uvm::DeviceId target, EventPtr end_event);
+
+  /// Virtual time at which the last enqueued op is currently known to end;
+  /// grows as ops execute. Used by stream-selection policies.
+  [[nodiscard]] SimTime last_known_end() const { return last_known_end_; }
+
+  /// True when no op is executing and the queue is empty.
+  [[nodiscard]] bool idle() const { return !busy_ && queue_.empty(); }
+
+  [[nodiscard]] std::size_t queued_ops() const { return queue_.size(); }
+
+ private:
+  friend class Gpu;
+
+  struct KernelOp {
+    KernelLaunchSpec spec;
+    EventPtr end_event;
+  };
+  struct WaitOp {
+    EventPtr event;
+  };
+  struct RecordOp {
+    EventPtr event;
+  };
+  struct HostOp {
+    std::function<void()> fn;
+  };
+  struct PrefetchOp {
+    uvm::ArrayId array;
+    uvm::DeviceId target;
+    EventPtr end_event;
+  };
+  using Op = std::variant<KernelOp, WaitOp, RecordOp, HostOp, PrefetchOp>;
+
+  /// Advance the FIFO as far as possible.
+  void pump();
+
+  Gpu& gpu_;
+  std::uint32_t id_;
+  std::deque<Op> queue_;
+  bool busy_{false};
+  bool pumping_{false};
+  SimTime last_known_end_{SimTime::zero()};
+};
+
+}  // namespace grout::gpusim

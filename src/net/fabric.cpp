@@ -1,0 +1,96 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+namespace grout::net {
+
+NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::vector<NicSpec> nics,
+                             sim::Tracer* tracer)
+    : sim_{simulator}, tracer_{tracer} {
+  GROUT_REQUIRE(nics.size() >= 2, "a fabric needs at least two nodes");
+  nodes_.reserve(nics.size());
+  for (auto& nic : nics) {
+    Node n;
+    n.tx = std::make_unique<sim::Resource>(sim_, nic.name + "/tx", nic.bw, SimTime::zero());
+    n.rx = std::make_unique<sim::Resource>(sim_, nic.name + "/rx", nic.bw, SimTime::zero());
+    n.nic = std::move(nic);
+    nodes_.push_back(std::move(n));
+  }
+}
+
+Bandwidth NetworkFabric::bandwidth(NodeId from, NodeId to) const {
+  GROUT_REQUIRE(from != to, "self transfer");
+  const auto it = overrides_.find({std::min(from, to), std::max(from, to)});
+  if (it != overrides_.end()) return it->second;
+  return std::min(node_ref(from).nic.bw, node_ref(to).nic.bw);
+}
+
+SimTime NetworkFabric::latency(NodeId from, NodeId to) const {
+  return node_ref(from).nic.latency + node_ref(to).nic.latency;
+}
+
+void NetworkFabric::set_link_override(NodeId a, NodeId b, Bandwidth bw) {
+  GROUT_REQUIRE(bw.valid(), "invalid override bandwidth");
+  node_ref(a);
+  node_ref(b);
+  overrides_[{std::min(a, b), std::max(a, b)}] = bw;
+}
+
+gpusim::EventPtr NetworkFabric::transfer(NodeId from, NodeId to, Bytes size, std::string label,
+                                         gpusim::EventPtr ready) {
+  node_ref(from);
+  node_ref(to);
+  GROUT_REQUIRE(from != to, "self transfer");
+  gpusim::EventPtr done = gpusim::make_event();
+  if (ready) {
+    ready->on_complete([this, from, to, size, label = std::move(label), done] {
+      start_transfer(from, to, size, label, done);
+    });
+  } else {
+    start_transfer(from, to, size, label, done);
+  }
+  return done;
+}
+
+void NetworkFabric::start_transfer(NodeId from, NodeId to, Bytes size, const std::string& label,
+                                   const gpusim::EventPtr& done) {
+  const SimTime begin = sim_.now();
+  const SimTime duration = latency(from, to) + bandwidth(from, to).transfer_time(size);
+  // Occupy both endpoints; completion is whichever queue drains last.
+  const SimTime tx_done = node_ref(from).tx->submit_duration(duration, size);
+  const SimTime rx_done = node_ref(to).rx->submit_duration(duration, size);
+  const SimTime end = std::max(tx_done, rx_done);
+  total_bytes_ += size;
+  ++transfers_;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim::TraceCategory::NetworkTransfer,
+                    label.empty() ? "transfer" : label,
+                    node_ref(from).nic.name + "->" + node_ref(to).nic.name, begin, end);
+  }
+  sim_.schedule_at(end, [done, end] { done->complete(end); });
+}
+
+gpusim::EventPtr NetworkFabric::send_control(NodeId from, NodeId to, Bytes size) {
+  node_ref(from);
+  node_ref(to);
+  GROUT_REQUIRE(from != to, "self transfer");
+  gpusim::EventPtr done = gpusim::make_event();
+  const SimTime end = sim_.now() + latency(from, to) + bandwidth(from, to).transfer_time(size);
+  total_bytes_ += size;
+  sim_.schedule_at(end, [done, end] { done->complete(end); });
+  return done;
+}
+
+Bytes NetworkFabric::bytes_sent_by(NodeId node) const { return node_ref(node).tx->bytes_moved(); }
+
+const NetworkFabric::Node& NetworkFabric::node_ref(NodeId id) const {
+  GROUT_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()), "unknown fabric node");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NetworkFabric::Node& NetworkFabric::node_ref(NodeId id) {
+  GROUT_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()), "unknown fabric node");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace grout::net

@@ -1,0 +1,86 @@
+// Simulated cluster interconnect.
+//
+// Every node owns a full-duplex NIC (a TX and an RX sim::Resource). A
+// transfer occupies the sender's TX and the receiver's RX queues at the
+// pair's effective bandwidth — min(tx, rx) unless a per-pair override is
+// installed (heterogeneous links / VNIC SLAs, Section IV-D). The measured
+// interconnection matrix the min-transfer-time policy uses is exactly what
+// `bandwidth()` exposes, mirroring the probe GrOUT performs at startup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/event.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace grout::net {
+
+using NodeId = std::int32_t;
+
+struct NicSpec {
+  std::string name;
+  /// The paper's workers have 4000 Mbit/s NICs; the controller 8000 Mbit/s.
+  Bandwidth bw = Bandwidth::mbit_per_sec(4000.0);
+  SimTime latency = SimTime::from_us(50.0);
+};
+
+class NetworkFabric {
+ public:
+  NetworkFabric(sim::Simulator& simulator, std::vector<NicSpec> nics,
+                sim::Tracer* tracer = nullptr);
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Effective bandwidth between two nodes (the interconnection matrix).
+  [[nodiscard]] Bandwidth bandwidth(NodeId from, NodeId to) const;
+
+  /// One-way latency between two nodes.
+  [[nodiscard]] SimTime latency(NodeId from, NodeId to) const;
+
+  /// Install a per-pair bandwidth override (both directions).
+  void set_link_override(NodeId a, NodeId b, Bandwidth bw);
+
+  /// Start a transfer when `ready` completes (nullptr = immediately);
+  /// the returned event completes when the last byte lands.
+  gpusim::EventPtr transfer(NodeId from, NodeId to, Bytes size, std::string label = {},
+                            gpusim::EventPtr ready = nullptr);
+
+  /// Small control message (CE descriptors, acks): rides a prioritized QoS
+  /// lane, so it pays latency + serialization but does not queue behind
+  /// bulk transfers. Returns the arrival event.
+  gpusim::EventPtr send_control(NodeId from, NodeId to, Bytes size);
+
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] Bytes bytes_sent_by(NodeId node) const;
+  [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
+
+ private:
+  struct Node {
+    NicSpec nic;
+    std::unique_ptr<sim::Resource> tx;
+    std::unique_ptr<sim::Resource> rx;
+  };
+
+  void start_transfer(NodeId from, NodeId to, Bytes size, const std::string& label,
+                      const gpusim::EventPtr& done);
+  const Node& node_ref(NodeId id) const;
+  Node& node_ref(NodeId id);
+
+  sim::Simulator& sim_;
+  sim::Tracer* tracer_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Bandwidth> overrides_;
+  Bytes total_bytes_{0};
+  std::uint64_t transfers_{0};
+};
+
+}  // namespace grout::net

@@ -1,0 +1,111 @@
+// AST for the supported CUDA C++ kernel subset.
+//
+// The NVRTC stand-in parses `__global__` functions whose bodies consist of
+// scalar declarations, (compound) assignments to scalars or `array[expr]`
+// elements, and if/else blocks — the shape of elementwise GPU kernels
+// (Black–Scholes, saxpy, map-style operators). Reductions and cooperative
+// kernels are registered as native kernels instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace grout::polyglot::ast {
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+};
+
+enum class UnOp { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Number {
+  double value{0.0};
+};
+struct VarRef {
+  std::string name;  // includes builtins: "threadIdx.x", "blockDim.x", ...
+};
+struct Index {
+  std::string array;
+  ExprPtr index;
+};
+struct Binary {
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+struct Unary {
+  UnOp op;
+  ExprPtr operand;
+};
+struct Call {
+  std::string fn;
+  std::vector<ExprPtr> args;
+};
+struct Ternary {
+  ExprPtr cond;
+  ExprPtr when_true;
+  ExprPtr when_false;
+};
+
+struct Expr {
+  std::variant<Number, VarRef, Index, Binary, Unary, Call, Ternary> node;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Decl {
+  std::string name;
+  ExprPtr init;
+};
+/// `target = value`, or `target[index] = value`; `op` is 0 for plain
+/// assignment or one of + - * / for compound assignment.
+struct Assign {
+  std::string target;
+  ExprPtr index;  // null for scalar targets
+  char op{0};
+  ExprPtr value;
+};
+struct If {
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+/// `for (int i = init; cond; update) body` — the update must be an
+/// assignment, a compound assignment, or i++/i--.
+struct For {
+  StmtPtr init;  ///< Decl or Assign
+  ExprPtr cond;
+  StmtPtr update;  ///< Assign
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  std::variant<Decl, Assign, If, For> node;
+};
+
+struct Param {
+  std::string type;  // "float", "int", "double", ...
+  bool pointer{false};
+  bool is_const{false};
+  std::string name;
+};
+
+struct KernelAst {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+};
+
+/// Approximate floating-point operations per executed thread.
+double count_flops(const KernelAst& kernel);
+
+}  // namespace grout::polyglot::ast

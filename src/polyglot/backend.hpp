@@ -1,0 +1,104 @@
+// Execution backends for the polyglot API.
+//
+// The paper's Listing 2 shows the entire migration from single-node GrCUDA
+// to distributed GrOUT as switching the language identifier of the eval
+// call. Here that maps to choosing the backend: both implement the same
+// interface, so the user program is backend-oblivious.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "core/grout_runtime.hpp"
+#include "gpusim/kernel.hpp"
+#include "runtime/intra_node_runtime.hpp"
+
+namespace grout::polyglot {
+
+enum class BackendKind : std::uint8_t {
+  GrCUDA,  ///< single node (Parravicini et al. baseline)
+  GrOUT,   ///< distributed controller + workers
+};
+
+const char* to_string(BackendKind k);
+
+/// Array identifiers at the polyglot level are backend-global ids.
+using ArrayRef = std::uint32_t;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual ArrayRef alloc(Bytes bytes, std::string name) = 0;
+
+  /// The host program (re)wrote the array on the controller.
+  virtual void notify_host_write(ArrayRef array) = 0;
+
+  /// Apply a cudaMemAdvise-style hint. On the distributed backend the hint
+  /// reaches every worker's local allocation (present and future).
+  virtual void advise(ArrayRef array, uvm::Advise advise) = 0;
+
+  /// Make the controller-side copy readable (blocks, advancing sim time).
+  virtual void ensure_host_readable(ArrayRef array) = 0;
+
+  /// Launch a kernel CE; params reference ArrayRefs.
+  virtual void launch(gpusim::KernelLaunchSpec spec) = 0;
+
+  /// Drain outstanding work; false if the run cap expired first.
+  virtual bool synchronize() = 0;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+};
+
+/// Single-node GrCUDA backend: one multi-GPU node, the intra-node runtime,
+/// no network. The paper's baseline (Section V-C).
+class GrCudaBackend final : public Backend {
+ public:
+  explicit GrCudaBackend(gpusim::GpuNodeConfig node_config = {},
+                         runtime::StreamPolicyKind stream_policy =
+                             runtime::StreamPolicyKind::LeastLoaded,
+                         std::size_t streams_per_gpu = 2,
+                         SimTime run_cap = SimTime::from_seconds(9000.0));
+
+  ArrayRef alloc(Bytes bytes, std::string name) override;
+  void notify_host_write(ArrayRef array) override;
+  void advise(ArrayRef array, uvm::Advise advise) override;
+  void ensure_host_readable(ArrayRef array) override;
+  void launch(gpusim::KernelLaunchSpec spec) override;
+  bool synchronize() override;
+  [[nodiscard]] SimTime now() const override { return sim_->now(); }
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::GrCUDA; }
+
+  [[nodiscard]] gpusim::GpuNode& node() { return *node_; }
+  [[nodiscard]] runtime::IntraNodeRuntime& runtime() { return *runtime_; }
+
+ private:
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<gpusim::GpuNode> node_;
+  std::unique_ptr<runtime::IntraNodeRuntime> runtime_;
+  SimTime run_cap_;
+};
+
+/// Distributed GrOUT backend.
+class GroutBackend final : public Backend {
+ public:
+  explicit GroutBackend(core::GroutConfig config);
+
+  ArrayRef alloc(Bytes bytes, std::string name) override;
+  void notify_host_write(ArrayRef array) override;
+  void advise(ArrayRef array, uvm::Advise advise) override;
+  void ensure_host_readable(ArrayRef array) override;
+  void launch(gpusim::KernelLaunchSpec spec) override;
+  bool synchronize() override;
+  [[nodiscard]] SimTime now() const override { return runtime_->now(); }
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::GrOUT; }
+
+  [[nodiscard]] core::GroutRuntime& grout() { return *runtime_; }
+
+ private:
+  std::unique_ptr<core::GroutRuntime> runtime_;
+};
+
+}  // namespace grout::polyglot

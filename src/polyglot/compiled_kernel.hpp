@@ -1,0 +1,50 @@
+// Slot-compiled kernel executor.
+//
+// The tree-walking interpreter in interpreter.cpp resolves every identifier
+// through hash maps — fine for tests, slow for million-element launches.
+// CompiledKernel lowers the AST once: identifiers become register slots,
+// array names become binding indices, and builtin calls become enum
+// dispatch. Execution then runs on a flat double register file per thread.
+// Context::launch uses this path for functional execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "polyglot/ast.hpp"
+#include "polyglot/interpreter.hpp"
+
+namespace grout::polyglot {
+
+class CompiledKernel {
+ public:
+  /// Lower a parsed kernel; throws ParseError on unknown identifiers or
+  /// unsupported device functions (caught at compile time, not mid-launch).
+  explicit CompiledKernel(const ast::KernelAst& kernel);
+
+  CompiledKernel(CompiledKernel&&) noexcept;
+  CompiledKernel& operator=(CompiledKernel&&) noexcept;
+  ~CompiledKernel();
+
+  /// Run the kernel over grid_dim x block_dim threads (blocks in parallel).
+  /// `args` layout matches execute_kernel(): arrays in pointer-parameter
+  /// order, scalars in scalar-parameter order.
+  void execute(const KernelArgs& args, std::size_t grid_dim, std::size_t block_dim) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t array_param_count() const { return array_params_; }
+  [[nodiscard]] std::size_t scalar_param_count() const { return scalar_params_; }
+  [[nodiscard]] std::size_t register_count() const { return registers_; }
+
+ private:
+  struct Impl;
+  std::string name_;
+  std::size_t array_params_{0};
+  std::size_t scalar_params_{0};
+  std::size_t registers_{0};
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace grout::polyglot

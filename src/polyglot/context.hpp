@@ -1,0 +1,85 @@
+// The polyglot entry point (the C++ mirror of `polyglot.eval(GrOUT, ...)`).
+//
+//   auto ctx  = Context::grout(config);          // or Context::grcuda(...)
+//   Value build  = ctx.eval("buildkernel");
+//   Value square = build(Value(KERNEL_SRC), Value(SIGNATURE));
+//   Value x      = ctx.eval("float[100]");
+//   x.as_array()->init([](std::size_t i) { return double(i); });
+//   square(Value(128), Value(128))(x, Value(100));
+//   ctx.synchronize();
+//
+// Switching GrCUDA <-> GrOUT is the factory call only — the paper's
+// Listing 2 one-line migration.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "polyglot/backend.hpp"
+#include "polyglot/value.hpp"
+
+namespace grout::polyglot {
+
+struct ContextConfig {
+  /// Arrays up to this size carry real host storage (functional results).
+  Bytes materialize_limit = 64_MiB;
+};
+
+class Context {
+ public:
+  using Config = ContextConfig;
+
+  explicit Context(std::unique_ptr<Backend> backend, Config config = Config());
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  Context(Context&&) = default;
+
+  /// Single-node GrCUDA context (the paper's baseline).
+  static Context grcuda(gpusim::GpuNodeConfig node = {},
+                        runtime::StreamPolicyKind stream_policy =
+                            runtime::StreamPolicyKind::LeastLoaded,
+                        SimTime run_cap = SimTime::from_seconds(9000.0));
+
+  /// Distributed GrOUT context.
+  static Context grout(core::GroutConfig config);
+
+  // -- the polyglot surface --------------------------------------------------
+
+  /// DSL entry point: "buildkernel" or "<type>[<count>]".
+  Value eval(std::string_view code);
+
+  /// Compile a CUDA C++ kernel (NVRTC stand-in). The optional NIDL
+  /// signature refines access modes; without it, const-ness of the C
+  /// parameters decides.
+  Value build_kernel(std::string_view source, std::string_view signature = {});
+
+  /// Register a pre-compiled (native) kernel with an explicit host
+  /// implementation — GrCUDA supports loading cubins the same way.
+  std::shared_ptr<KernelObject> register_native_kernel(
+      std::string name, std::vector<KernelParamInfo> params, NativeFn fn,
+      double flops_per_thread = 1.0, uvm::Parallelism parallelism = uvm::Parallelism::High);
+
+  std::shared_ptr<DeviceArray> alloc_array(ElemType type, std::size_t count,
+                                           std::string name = "array");
+
+  /// Launch a bound kernel with polyglot arguments (called by Value::call).
+  /// `ranges`, when non-empty, gives the byte range each pointer argument
+  /// touches (indexed in pointer-parameter order; empty = whole array) —
+  /// used by kernels that partition one shared allocation.
+  void launch(const BoundKernel& bound, const std::vector<Value>& args,
+              const std::vector<uvm::ByteRange>& ranges = {});
+
+  /// Drain all device work; false if the run cap expired (out-of-time).
+  bool synchronize() { return backend_->synchronize(); }
+
+  [[nodiscard]] SimTime now() const { return backend_->now(); }
+  [[nodiscard]] Backend& backend() { return *backend_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  std::unique_ptr<Backend> backend_;
+  Config config_;
+};
+
+}  // namespace grout::polyglot

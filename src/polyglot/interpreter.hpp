@@ -1,0 +1,38 @@
+// Functional interpreter for parsed kernels.
+//
+// Executes the kernel body once per simulated CUDA thread, so examples and
+// tests observe real numerical results (the timing comes from the GPU/UVM
+// simulator, not from this execution).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "polyglot/ast.hpp"
+#include "polyglot/types.hpp"
+
+namespace grout::polyglot {
+
+/// A host-side view of one pointer argument.
+struct ArrayBinding {
+  ElemType type{ElemType::F64};
+  void* data{nullptr};
+  std::size_t length{0};
+
+  [[nodiscard]] double get(std::size_t i) const;
+  void set(std::size_t i, double v) const;
+};
+
+/// Execute `kernel` over a grid of `grid_dim` blocks of `block_dim` threads.
+/// `args` holds one entry per kernel parameter, in order: pointer parameters
+/// take the corresponding ArrayBinding, scalars the corresponding double.
+struct KernelArgs {
+  std::vector<ArrayBinding> arrays;  ///< indexed by pointer-parameter order
+  std::vector<double> scalars;       ///< indexed by scalar-parameter order
+};
+
+void execute_kernel(const ast::KernelAst& kernel, const KernelArgs& args,
+                    std::size_t grid_dim, std::size_t block_dim);
+
+}  // namespace grout::polyglot

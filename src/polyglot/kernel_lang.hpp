@@ -1,0 +1,15 @@
+// Parser for the CUDA C++ kernel subset (the NVRTC stand-in's front end).
+#pragma once
+
+#include <string_view>
+
+#include "polyglot/ast.hpp"
+
+namespace grout::polyglot {
+
+/// Parse a source string containing one `__global__ void name(...) {...}`
+/// function (an optional `extern "C"` prefix is accepted). Throws
+/// grout::ParseError with a descriptive message on unsupported constructs.
+ast::KernelAst parse_kernel_source(std::string_view source);
+
+}  // namespace grout::polyglot

@@ -1,0 +1,96 @@
+#include "polyglot/signature.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace grout::polyglot {
+
+namespace {
+
+SignatureParam parse_param(std::string_view text) {
+  // "<name> : <qualifier>* <pointer?> <type>"
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    throw ParseError("signature parameter missing ':' — " + std::string(text));
+  }
+  SignatureParam p;
+  p.name = std::string(trim(text.substr(0, colon)));
+  if (p.name.empty()) throw ParseError("signature parameter with empty name");
+
+  bool mode_set = false;
+  std::string_view rest = trim(text.substr(colon + 1));
+  for (std::string_view word_raw : split(rest, ' ')) {
+    const std::string_view word = trim(word_raw);
+    if (word.empty()) continue;
+    if (word == "const" || word == "in") {
+      p.mode = uvm::AccessMode::Read;
+      mode_set = true;
+    } else if (word == "out") {
+      p.mode = uvm::AccessMode::Write;
+      mode_set = true;
+    } else if (word == "inout") {
+      p.mode = uvm::AccessMode::ReadWrite;
+      mode_set = true;
+    } else if (word == "pointer") {
+      p.pointer = true;
+    } else if (ElemType t; parse_elem_type(word, t)) {
+      p.type = t;
+    } else {
+      throw ParseError("unknown signature token: " + std::string(word));
+    }
+  }
+  if (!p.pointer) {
+    // Scalars are read-only by definition.
+    p.mode = uvm::AccessMode::Read;
+  } else if (!mode_set) {
+    p.mode = uvm::AccessMode::ReadWrite;
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelSignature parse_signature(std::string_view signature) {
+  const auto open = signature.find('(');
+  const auto close = signature.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    throw ParseError("malformed signature: " + std::string(signature));
+  }
+  KernelSignature sig;
+  sig.name = std::string(trim(signature.substr(0, open)));
+  if (sig.name.empty()) throw ParseError("signature without a kernel name");
+
+  const std::string_view body = trim(signature.substr(open + 1, close - open - 1));
+  if (body.empty()) return sig;
+  for (std::string_view part : split(body, ',')) {
+    sig.params.push_back(parse_param(trim(part)));
+  }
+  return sig;
+}
+
+const char* to_string(ElemType t) {
+  switch (t) {
+    case ElemType::F32: return "float";
+    case ElemType::F64: return "double";
+    case ElemType::I32: return "int";
+    case ElemType::I64: return "long";
+  }
+  return "?";
+}
+
+bool parse_elem_type(std::string_view name, ElemType& out) {
+  if (name == "float" || name == "f32") {
+    out = ElemType::F32;
+  } else if (name == "double" || name == "f64") {
+    out = ElemType::F64;
+  } else if (name == "int" || name == "sint32" || name == "i32") {
+    out = ElemType::I32;
+  } else if (name == "long" || name == "sint64" || name == "i64" || name == "size_t") {
+    out = ElemType::I64;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace grout::polyglot

@@ -1,0 +1,31 @@
+// GrCUDA-style NIDL kernel signatures.
+//
+// Example: "square(x: inout pointer float, n: sint32)". Qualifiers map to
+// access modes: const/in -> Read, out -> Write, inout (default) -> ReadWrite.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "polyglot/types.hpp"
+#include "uvm/types.hpp"
+
+namespace grout::polyglot {
+
+struct SignatureParam {
+  std::string name;
+  bool pointer{false};
+  ElemType type{ElemType::F32};
+  uvm::AccessMode mode{uvm::AccessMode::ReadWrite};
+};
+
+struct KernelSignature {
+  std::string name;
+  std::vector<SignatureParam> params;
+};
+
+/// Parse a NIDL signature string; throws grout::ParseError on bad input.
+KernelSignature parse_signature(std::string_view signature);
+
+}  // namespace grout::polyglot

@@ -1,0 +1,29 @@
+// Element types of polyglot device arrays.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace grout::polyglot {
+
+enum class ElemType : std::uint8_t { F32, F64, I32, I64 };
+
+constexpr Bytes elem_size(ElemType t) {
+  switch (t) {
+    case ElemType::F32: return 4;
+    case ElemType::F64: return 8;
+    case ElemType::I32: return 4;
+    case ElemType::I64: return 8;
+  }
+  return 4;
+}
+
+const char* to_string(ElemType t);
+
+/// Parse "float" / "double" / "int" / "long" / "sint32" / "sint64".
+/// Returns false on unknown names.
+bool parse_elem_type(std::string_view name, ElemType& out);
+
+}  // namespace grout::polyglot

@@ -1,0 +1,91 @@
+// Dynamic polyglot values (the objects crossing the language boundary in
+// Listing 1): numbers, strings, device arrays, kernels, bound kernels and
+// builtin functions, with call semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "polyglot/device_array.hpp"
+#include "polyglot/kernel_object.hpp"
+
+namespace grout::polyglot {
+
+class Value;
+
+/// Builtin host function exposed through eval() (e.g. "buildkernel").
+struct BuiltinFn {
+  std::string name;
+  std::function<Value(const std::vector<Value>&)> fn;
+};
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(bool b) : payload_{b} {}
+  explicit Value(double d) : payload_{d} {}
+  explicit Value(std::int64_t i) : payload_{i} {}
+  explicit Value(int i) : payload_{static_cast<std::int64_t>(i)} {}
+  explicit Value(std::size_t i) : payload_{static_cast<std::int64_t>(i)} {}
+  explicit Value(std::string s) : payload_{std::move(s)} {}
+  explicit Value(const char* s) : payload_{std::string(s)} {}
+  explicit Value(std::shared_ptr<DeviceArray> a) : payload_{std::move(a)} {}
+  explicit Value(std::shared_ptr<KernelObject> k) : payload_{std::move(k)} {}
+  explicit Value(std::shared_ptr<BoundKernel> b) : payload_{std::move(b)} {}
+  explicit Value(std::shared_ptr<BuiltinFn> f) : payload_{std::move(f)} {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::monostate>(payload_); }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(payload_) ||
+           std::holds_alternative<std::int64_t>(payload_);
+  }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(payload_); }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<DeviceArray>>(payload_);
+  }
+  [[nodiscard]] bool is_kernel() const {
+    return std::holds_alternative<std::shared_ptr<KernelObject>>(payload_);
+  }
+  [[nodiscard]] bool is_bound_kernel() const {
+    return std::holds_alternative<std::shared_ptr<BoundKernel>>(payload_);
+  }
+  [[nodiscard]] bool is_builtin() const {
+    return std::holds_alternative<std::shared_ptr<BuiltinFn>>(payload_);
+  }
+  [[nodiscard]] bool is_callable() const {
+    return is_kernel() || is_bound_kernel() || is_builtin();
+  }
+
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::shared_ptr<DeviceArray>& as_array() const;
+  [[nodiscard]] const std::shared_ptr<KernelObject>& as_kernel() const;
+
+  /// Polyglot call: kernels bind launch configs, bound kernels launch,
+  /// builtins run. Anything else throws InvalidArgument.
+  Value call(const std::vector<Value>& args) const;
+
+  template <typename... Args>
+  Value operator()(Args&&... args) const {
+    return call(std::vector<Value>{Value(std::forward<Args>(args))...});
+  }
+  Value operator()() const { return call({}); }
+
+ private:
+  std::variant<std::monostate, bool, double, std::int64_t, std::string,
+               std::shared_ptr<DeviceArray>, std::shared_ptr<KernelObject>,
+               std::shared_ptr<BoundKernel>, std::shared_ptr<BuiltinFn>>
+      payload_;
+};
+
+/// Wrap an already-constructed Value (identity), so Value(Value) works in
+/// the variadic operator().
+inline Value to_value(Value v) { return v; }
+
+}  // namespace grout::polyglot

@@ -1,0 +1,112 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace grout::report {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  GROUT_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GROUT_REQUIRE(cells.size() == headers_.size(), "row width differs from the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out += cells[c];
+        out.append(pad, ' ');
+      } else {
+        out += "  ";
+        out.append(pad, ' ');
+        out += cells[c];
+      }
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += c == 0 ? "---|" : "---:|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& cell : row) out += " " + cell + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ',';
+      out += csv_escape(cells[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string cell_seconds(double seconds, bool capped) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s%.2f", capped ? ">" : "", seconds);
+  return buf;
+}
+
+std::string cell_factor(double factor) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.2fx", factor);
+  return buf;
+}
+
+std::string cell_gib(double gib) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.0f GiB", gib);
+  return buf;
+}
+
+}  // namespace grout::report

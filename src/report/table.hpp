@@ -1,0 +1,47 @@
+// Result-table formatting for the CLI and experiment harnesses: aligned
+// text, GitHub markdown, and CSV from one row model.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace grout::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Space-aligned fixed-width text (first column left-, rest right-aligned).
+  [[nodiscard]] std::string to_text() const;
+  /// GitHub-flavoured markdown.
+  [[nodiscard]] std::string to_markdown() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes get quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// -- cell formatting helpers -------------------------------------------------
+
+/// "12.35" / ">9000.00" when the run was cap-censored.
+std::string cell_seconds(double seconds, bool capped = false);
+/// "3.4x".
+std::string cell_factor(double factor);
+/// "96 GiB" style.
+std::string cell_gib(double gib);
+
+}  // namespace grout::report

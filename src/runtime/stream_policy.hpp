@@ -1,0 +1,16 @@
+// Intra-node stream-selection policies (Algorithm 2's streamManager).
+#pragma once
+
+#include <cstdint>
+
+namespace grout::runtime {
+
+enum class StreamPolicyKind : std::uint8_t {
+  RoundRobin,   ///< cycle over every (gpu, stream) pair
+  LeastLoaded,  ///< stream whose queue is known to drain earliest
+  DataLocal,    ///< GPU holding most of the CE's inputs, then least loaded
+};
+
+const char* to_string(StreamPolicyKind k);
+
+}  // namespace grout::runtime

@@ -1,0 +1,813 @@
+#include "script/script.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace grout::script {
+
+namespace {
+
+using polyglot::Value;
+
+// ===========================================================================
+// Lexer (with Python-style INDENT/DEDENT)
+// ===========================================================================
+
+enum class Tok : std::uint8_t { Name, Number, String, Punct, Newline, Indent, Dedent, End };
+
+struct Token {
+  Tok kind{Tok::End};
+  std::string text;
+  double number{0.0};
+  std::size_t line{0};
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_{src} { tokenize(); }
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token take() {
+    Token t = peek();
+    if (pos_ < tokens_.size()) ++pos_;
+    return t;
+  }
+  [[nodiscard]] bool at_punct(std::string_view p) const {
+    return peek().kind == Tok::Punct && peek().text == p;
+  }
+  [[nodiscard]] bool at_name(std::string_view n) const {
+    return peek().kind == Tok::Name && peek().text == n;
+  }
+  void expect_punct(std::string_view p) {
+    if (!at_punct(p)) fail("expected '" + std::string(p) + "'");
+    take();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("script line " + std::to_string(peek().line) + ": " + msg +
+                     " (near '" + peek().text + "')");
+  }
+
+ private:
+  void tokenize() {
+    std::vector<std::size_t> indents{0};
+    std::size_t line_no = 0;
+    std::size_t i = 0;
+    while (i <= src_.size()) {
+      // --- start of a logical line: measure indentation ---
+      ++line_no;
+      std::size_t indent = 0;
+      while (i < src_.size() && (src_[i] == ' ' || src_[i] == '\t')) {
+        indent += src_[i] == '\t' ? 4 : 1;
+        ++i;
+      }
+      if (i >= src_.size()) break;
+      if (src_[i] == '\n') {  // blank line
+        ++i;
+        continue;
+      }
+      if (src_[i] == '#') {  // comment-only line
+        while (i < src_.size() && src_[i] != '\n') ++i;
+        ++i;
+        continue;
+      }
+      // Emit INDENT/DEDENT transitions.
+      if (indent > indents.back()) {
+        indents.push_back(indent);
+        push(Tok::Indent, "<indent>", line_no);
+      }
+      while (indent < indents.back()) {
+        indents.pop_back();
+        push(Tok::Dedent, "<dedent>", line_no);
+      }
+      if (indent != indents.back()) {
+        throw ParseError("script line " + std::to_string(line_no) +
+                         ": inconsistent indentation");
+      }
+      // --- tokens on the line ---
+      while (i < src_.size() && src_[i] != '\n') {
+        const char c = src_[i];
+        if (c == ' ' || c == '\t') {
+          ++i;
+        } else if (c == '#') {
+          while (i < src_.size() && src_[i] != '\n') ++i;
+        } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          std::size_t start = i;
+          while (i < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                                     src_[i] == '_')) {
+            ++i;
+          }
+          push(Tok::Name, std::string(src_.substr(start, i - start)), line_no);
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '.' && i + 1 < src_.size() &&
+                    std::isdigit(static_cast<unsigned char>(src_[i + 1])))) {
+          std::size_t start = i;
+          while (i < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                                     src_[i] == '.' ||
+                                     ((src_[i] == '+' || src_[i] == '-') && i > start &&
+                                      (src_[i - 1] == 'e' || src_[i - 1] == 'E')))) {
+            ++i;
+          }
+          Token t;
+          t.kind = Tok::Number;
+          t.text = std::string(src_.substr(start, i - start));
+          t.number = std::strtod(t.text.c_str(), nullptr);
+          t.line = line_no;
+          tokens_.push_back(std::move(t));
+        } else if (c == '"' || c == '\'') {
+          tokens_.push_back(lex_string(i, line_no));
+        } else {
+          static constexpr std::string_view kTwo[] = {"==", "!=", "<=", ">=", "//"};
+          bool matched = false;
+          for (const auto p : kTwo) {
+            if (src_.substr(i, 2) == p) {
+              push(Tok::Punct, std::string(p), line_no);
+              i += 2;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            push(Tok::Punct, std::string(1, c), line_no);
+            ++i;
+          }
+        }
+      }
+      push(Tok::Newline, "<newline>", line_no);
+      ++i;  // consume '\n'
+    }
+    while (indents.size() > 1) {
+      indents.pop_back();
+      push(Tok::Dedent, "<dedent>", line_no);
+    }
+    push(Tok::End, "<end>", line_no);
+  }
+
+  Token lex_string(std::size_t& i, std::size_t line_no) {
+    const char quote = src_[i];
+    const std::string triple(3, quote);
+    Token t;
+    t.kind = Tok::String;
+    t.line = line_no;
+    if (src_.substr(i, 3) == triple) {
+      i += 3;
+      const auto end = src_.find(triple, i);
+      if (end == std::string_view::npos) {
+        throw ParseError("script line " + std::to_string(line_no) +
+                         ": unterminated triple-quoted string");
+      }
+      t.text = std::string(src_.substr(i, end - i));
+      i = end + 3;
+      return t;
+    }
+    ++i;
+    std::string out;
+    while (i < src_.size() && src_[i] != quote && src_[i] != '\n') {
+      if (src_[i] == '\\' && i + 1 < src_.size()) {
+        ++i;
+        switch (src_[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: out.push_back(src_[i]); break;
+        }
+      } else {
+        out.push_back(src_[i]);
+      }
+      ++i;
+    }
+    if (i >= src_.size() || src_[i] != quote) {
+      throw ParseError("script line " + std::to_string(line_no) + ": unterminated string");
+    }
+    ++i;
+    t.text = std::move(out);
+    return t;
+  }
+
+  void push(Tok kind, std::string text, std::size_t line_no) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_no;
+    tokens_.push_back(std::move(t));
+  }
+
+  std::string_view src_;
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+};
+
+// ===========================================================================
+// AST
+// ===========================================================================
+
+struct SExpr;
+using SExprPtr = std::unique_ptr<SExpr>;
+
+struct SExpr {
+  enum class Kind : std::uint8_t {
+    Num, Str, Name, Attribute, Call, Subscript, Binary, Unary,
+  };
+  Kind kind{Kind::Num};
+  double number{0.0};
+  std::string text;           // Str value / Name / Attribute attr / Binary op
+  std::vector<SExprPtr> kids; // Attribute base, Call callee+args, Subscript base+index, ...
+};
+
+struct SStmt;
+using SStmtPtr = std::unique_ptr<SStmt>;
+
+struct SStmt {
+  enum class Kind : std::uint8_t {
+    Assign, ExprStmt, For, While, If, Import, Pass, Def, Return,
+  };
+  Kind kind{Kind::Pass};
+  SExprPtr target;            // Assign
+  SExprPtr value;             // Assign value / ExprStmt / If & While cond / Return value
+  std::string loop_var;       // For / Def name
+  std::vector<std::string> params;  // Def parameters
+  std::vector<SExprPtr> range_args;
+  std::vector<SStmtPtr> body;
+  std::vector<SStmtPtr> else_body;
+};
+
+// ===========================================================================
+// Parser
+// ===========================================================================
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_{src} {}
+
+  std::vector<SStmtPtr> parse_program() {
+    std::vector<SStmtPtr> stmts;
+    while (lex_.peek().kind != Tok::End) {
+      if (lex_.peek().kind == Tok::Newline) {
+        lex_.take();
+        continue;
+      }
+      stmts.push_back(parse_stmt());
+    }
+    return stmts;
+  }
+
+ private:
+  SStmtPtr parse_stmt() {
+    if (lex_.at_name("import")) {
+      lex_.take();
+      lex_.take();  // module name
+      end_line();
+      auto s = std::make_unique<SStmt>();
+      s->kind = SStmt::Kind::Import;
+      return s;
+    }
+    if (lex_.at_name("pass")) {
+      lex_.take();
+      end_line();
+      auto s = std::make_unique<SStmt>();
+      s->kind = SStmt::Kind::Pass;
+      return s;
+    }
+    if (lex_.at_name("for")) return parse_for();
+    if (lex_.at_name("while")) return parse_while();
+    if (lex_.at_name("if")) return parse_if();
+    if (lex_.at_name("def")) return parse_def();
+    if (lex_.at_name("return")) {
+      lex_.take();
+      auto s = std::make_unique<SStmt>();
+      s->kind = SStmt::Kind::Return;
+      if (lex_.peek().kind != Tok::Newline && lex_.peek().kind != Tok::End) {
+        s->value = parse_expr();
+      }
+      end_line();
+      return s;
+    }
+
+    SExprPtr first = parse_expr();
+    if (lex_.at_punct("=")) {
+      lex_.take();
+      if (first->kind != SExpr::Kind::Name && first->kind != SExpr::Kind::Subscript) {
+        lex_.fail("assignment target must be a name or subscript");
+      }
+      auto s = std::make_unique<SStmt>();
+      s->kind = SStmt::Kind::Assign;
+      s->target = std::move(first);
+      s->value = parse_expr();
+      end_line();
+      return s;
+    }
+    auto s = std::make_unique<SStmt>();
+    s->kind = SStmt::Kind::ExprStmt;
+    s->value = std::move(first);
+    end_line();
+    return s;
+  }
+
+  SStmtPtr parse_for() {
+    lex_.take();  // for
+    auto s = std::make_unique<SStmt>();
+    s->kind = SStmt::Kind::For;
+    if (lex_.peek().kind != Tok::Name) lex_.fail("expected loop variable");
+    s->loop_var = lex_.take().text;
+    if (!lex_.at_name("in")) lex_.fail("expected 'in'");
+    lex_.take();
+    if (!lex_.at_name("range")) lex_.fail("only 'for ... in range(...)' loops are supported");
+    lex_.take();
+    lex_.expect_punct("(");
+    s->range_args.push_back(parse_expr());
+    while (lex_.at_punct(",")) {
+      lex_.take();
+      s->range_args.push_back(parse_expr());
+    }
+    if (s->range_args.size() > 3) lex_.fail("range takes at most 3 arguments");
+    lex_.expect_punct(")");
+    lex_.expect_punct(":");
+    s->body = parse_suite();
+    return s;
+  }
+
+  SStmtPtr parse_while() {
+    lex_.take();  // while
+    auto s = std::make_unique<SStmt>();
+    s->kind = SStmt::Kind::While;
+    s->value = parse_expr();
+    lex_.expect_punct(":");
+    s->body = parse_suite();
+    return s;
+  }
+
+  SStmtPtr parse_def() {
+    lex_.take();  // def
+    auto s = std::make_unique<SStmt>();
+    s->kind = SStmt::Kind::Def;
+    if (lex_.peek().kind != Tok::Name) lex_.fail("expected function name");
+    s->loop_var = lex_.take().text;
+    lex_.expect_punct("(");
+    if (!lex_.at_punct(")")) {
+      for (;;) {
+        if (lex_.peek().kind != Tok::Name) lex_.fail("expected parameter name");
+        s->params.push_back(lex_.take().text);
+        if (lex_.at_punct(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+    }
+    lex_.expect_punct(")");
+    lex_.expect_punct(":");
+    s->body = parse_suite();
+    return s;
+  }
+
+  SStmtPtr parse_if() {
+    lex_.take();  // if
+    auto s = std::make_unique<SStmt>();
+    s->kind = SStmt::Kind::If;
+    s->value = parse_expr();
+    lex_.expect_punct(":");
+    s->body = parse_suite();
+    if (lex_.at_name("else")) {
+      lex_.take();
+      lex_.expect_punct(":");
+      s->else_body = parse_suite();
+    }
+    return s;
+  }
+
+  std::vector<SStmtPtr> parse_suite() {
+    if (lex_.peek().kind != Tok::Newline) lex_.fail("expected newline before block");
+    lex_.take();
+    if (lex_.peek().kind != Tok::Indent) lex_.fail("expected an indented block");
+    lex_.take();
+    std::vector<SStmtPtr> body;
+    while (lex_.peek().kind != Tok::Dedent && lex_.peek().kind != Tok::End) {
+      if (lex_.peek().kind == Tok::Newline) {
+        lex_.take();
+        continue;
+      }
+      body.push_back(parse_stmt());
+    }
+    if (lex_.peek().kind == Tok::Dedent) lex_.take();
+    return body;
+  }
+
+  void end_line() {
+    if (lex_.peek().kind == Tok::Newline) {
+      lex_.take();
+    } else if (lex_.peek().kind != Tok::End && lex_.peek().kind != Tok::Dedent) {
+      lex_.fail("unexpected trailing tokens");
+    }
+  }
+
+  // -- expressions (precedence climbing) ------------------------------------
+
+  SExprPtr parse_expr() { return parse_binary(0); }
+
+  static int prec_of(const Token& t) {
+    if (t.kind != Tok::Punct) return -1;
+    if (t.text == "==" || t.text == "!=" || t.text == "<" || t.text == "<=" ||
+        t.text == ">" || t.text == ">=") {
+      return 1;
+    }
+    if (t.text == "+" || t.text == "-") return 2;
+    if (t.text == "*" || t.text == "/" || t.text == "%" || t.text == "//") return 3;
+    return -1;
+  }
+
+  SExprPtr parse_binary(int min_prec) {
+    SExprPtr lhs = parse_unary();
+    for (;;) {
+      const int prec = prec_of(lex_.peek());
+      if (prec < 0 || prec < min_prec) return lhs;
+      const std::string op = lex_.take().text;
+      SExprPtr rhs = parse_binary(prec + 1);
+      auto e = std::make_unique<SExpr>();
+      e->kind = SExpr::Kind::Binary;
+      e->text = op;
+      e->kids.push_back(std::move(lhs));
+      e->kids.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  SExprPtr parse_unary() {
+    if (lex_.at_punct("-")) {
+      lex_.take();
+      auto e = std::make_unique<SExpr>();
+      e->kind = SExpr::Kind::Unary;
+      e->text = "-";
+      e->kids.push_back(parse_unary());
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  SExprPtr parse_postfix() {
+    SExprPtr e = parse_primary();
+    for (;;) {
+      if (lex_.at_punct("(")) {
+        lex_.take();
+        auto call = std::make_unique<SExpr>();
+        call->kind = SExpr::Kind::Call;
+        call->kids.push_back(std::move(e));
+        if (!lex_.at_punct(")")) {
+          for (;;) {
+            call->kids.push_back(parse_expr());
+            if (lex_.at_punct(",")) {
+              lex_.take();
+              continue;
+            }
+            break;
+          }
+        }
+        lex_.expect_punct(")");
+        e = std::move(call);
+      } else if (lex_.at_punct("[")) {
+        lex_.take();
+        auto sub = std::make_unique<SExpr>();
+        sub->kind = SExpr::Kind::Subscript;
+        sub->kids.push_back(std::move(e));
+        sub->kids.push_back(parse_expr());
+        lex_.expect_punct("]");
+        e = std::move(sub);
+      } else if (lex_.at_punct(".")) {
+        lex_.take();
+        if (lex_.peek().kind != Tok::Name) lex_.fail("expected attribute name");
+        auto attr = std::make_unique<SExpr>();
+        attr->kind = SExpr::Kind::Attribute;
+        attr->text = lex_.take().text;
+        attr->kids.push_back(std::move(e));
+        e = std::move(attr);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  SExprPtr parse_primary() {
+    auto e = std::make_unique<SExpr>();
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Number) {
+      e->kind = SExpr::Kind::Num;
+      e->number = lex_.take().number;
+      return e;
+    }
+    if (t.kind == Tok::String) {
+      e->kind = SExpr::Kind::Str;
+      e->text = lex_.take().text;
+      return e;
+    }
+    if (t.kind == Tok::Name) {
+      e->kind = SExpr::Kind::Name;
+      e->text = lex_.take().text;
+      return e;
+    }
+    if (lex_.at_punct("(")) {
+      lex_.take();
+      e = parse_expr();
+      lex_.expect_punct(")");
+      return e;
+    }
+    lex_.fail("expected expression");
+  }
+
+  Lexer lex_;
+};
+
+// ===========================================================================
+// Interpreter
+// ===========================================================================
+
+/// Return-statement control flow.
+struct ReturnSignal {
+  Value value;
+};
+
+class Interpreter {
+ public:
+  Interpreter(polyglot::Context& ctx, std::ostream& out) : ctx_{ctx}, out_{out} {
+    scopes_.emplace_back();
+    assign("GrOUT", Value(std::string("GrOUT")));
+    assign("GrCUDA", Value(std::string("GrCUDA")));
+  }
+
+  std::size_t run(const std::vector<SStmtPtr>& stmts) {
+    try {
+      exec_block(stmts);
+    } catch (const ReturnSignal&) {
+      throw InvalidArgument("'return' outside a function");
+    }
+    return executed_;
+  }
+
+ private:
+  void assign(const std::string& name, Value v) { scopes_.back()[name] = std::move(v); }
+
+  [[nodiscard]] const Value* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void exec_block(const std::vector<SStmtPtr>& stmts) {
+    for (const auto& s : stmts) exec(*s);
+  }
+
+  void exec(const SStmt& s) {
+    ++executed_;
+    switch (s.kind) {
+      case SStmt::Kind::Import:
+      case SStmt::Kind::Pass:
+        break;
+      case SStmt::Kind::Def:
+        functions_[s.loop_var] = &s;
+        break;
+      case SStmt::Kind::Return:
+        throw ReturnSignal{s.value ? eval(*s.value) : Value()};
+      case SStmt::Kind::ExprStmt:
+        (void)eval(*s.value);
+        break;
+      case SStmt::Kind::Assign: {
+        Value v = eval(*s.value);
+        if (s.target->kind == SExpr::Kind::Name) {
+          assign(s.target->text, std::move(v));
+        } else {
+          const Value base = eval(*s.target->kids[0]);
+          const Value index = eval(*s.target->kids[1]);
+          base.as_array()->set(static_cast<std::size_t>(index.as_int()), v.as_number());
+        }
+        break;
+      }
+      case SStmt::Kind::For: {
+        double start = 0.0;
+        double stop = 0.0;
+        double step = 1.0;
+        if (s.range_args.size() == 1) {
+          stop = eval(*s.range_args[0]).as_number();
+        } else {
+          start = eval(*s.range_args[0]).as_number();
+          stop = eval(*s.range_args[1]).as_number();
+          if (s.range_args.size() == 3) step = eval(*s.range_args[2]).as_number();
+        }
+        GROUT_REQUIRE(step != 0.0, "range step must be nonzero");
+        for (double i = start; step > 0 ? i < stop : i > stop; i += step) {
+          assign(s.loop_var, Value(i));
+          exec_block(s.body);
+        }
+        break;
+      }
+      case SStmt::Kind::While: {
+        constexpr std::uint64_t kMaxTrips = 1u << 26;
+        std::uint64_t trips = 0;
+        while (truthy(eval(*s.value))) {
+          exec_block(s.body);
+          GROUT_REQUIRE(++trips <= kMaxTrips, "while loop exceeded the iteration bound");
+        }
+        break;
+      }
+      case SStmt::Kind::If:
+        if (truthy(eval(*s.value))) {
+          exec_block(s.body);
+        } else {
+          exec_block(s.else_body);
+        }
+        break;
+    }
+  }
+
+  Value call_function(const SStmt& fn, const std::vector<Value>& args) {
+    GROUT_REQUIRE(args.size() == fn.params.size(),
+                  "function " + fn.loop_var + " takes " +
+                      std::to_string(fn.params.size()) + " argument(s)");
+    GROUT_REQUIRE(scopes_.size() < 64, "script recursion too deep");
+    scopes_.emplace_back();
+    for (std::size_t i = 0; i < args.size(); ++i) assign(fn.params[i], args[i]);
+    Value result;
+    try {
+      exec_block(fn.body);
+    } catch (ReturnSignal& ret) {
+      result = std::move(ret.value);
+    }
+    scopes_.pop_back();
+    return result;
+  }
+
+  static bool truthy(const Value& v) {
+    if (v.is_number()) return v.as_number() != 0.0;
+    if (v.is_string()) return !v.as_string().empty();
+    return !v.is_null();
+  }
+
+  Value eval(const SExpr& e) {
+    switch (e.kind) {
+      case SExpr::Kind::Num: return Value(e.number);
+      case SExpr::Kind::Str: return Value(e.text);
+      case SExpr::Kind::Name: {
+        const Value* v = lookup(e.text);
+        if (v == nullptr) throw InvalidArgument("undefined name: " + e.text);
+        return *v;
+      }
+      case SExpr::Kind::Attribute: {
+        // Only the polyglot module has attributes.
+        if (e.kids[0]->kind == SExpr::Kind::Name && e.kids[0]->text == "polyglot" &&
+            e.text == "eval") {
+          return make_polyglot_eval();
+        }
+        throw InvalidArgument("unknown attribute: ." + e.text);
+      }
+      case SExpr::Kind::Subscript: {
+        const Value base = eval(*e.kids[0]);
+        const Value index = eval(*e.kids[1]);
+        return Value(base.as_array()->get(static_cast<std::size_t>(index.as_int())));
+      }
+      case SExpr::Kind::Call: return eval_call(e);
+      case SExpr::Kind::Unary: return Value(-eval(*e.kids[0]).as_number());
+      case SExpr::Kind::Binary: return eval_binary(e);
+    }
+    throw InternalError("unhandled script expression");
+  }
+
+  Value eval_binary(const SExpr& e) {
+    const Value lv = eval(*e.kids[0]);
+    const Value rv = eval(*e.kids[1]);
+    if (e.text == "+" && lv.is_string()) return Value(lv.as_string() + rv.as_string());
+    const double l = lv.as_number();
+    const double r = rv.as_number();
+    if (e.text == "+") return Value(l + r);
+    if (e.text == "-") return Value(l - r);
+    if (e.text == "*") return Value(l * r);
+    if (e.text == "/") return Value(l / r);
+    if (e.text == "%") return Value(std::fmod(l, r));
+    if (e.text == "//") return Value(std::floor(l / r));
+    if (e.text == "==") return Value(l == r ? 1.0 : 0.0);
+    if (e.text == "!=") return Value(l != r ? 1.0 : 0.0);
+    if (e.text == "<") return Value(l < r ? 1.0 : 0.0);
+    if (e.text == "<=") return Value(l <= r ? 1.0 : 0.0);
+    if (e.text == ">") return Value(l > r ? 1.0 : 0.0);
+    if (e.text == ">=") return Value(l >= r ? 1.0 : 0.0);
+    throw InternalError("unhandled operator " + e.text);
+  }
+
+  Value eval_call(const SExpr& e) {
+    const SExpr& callee = *e.kids[0];
+    std::vector<Value> args;
+    for (std::size_t i = 1; i < e.kids.size(); ++i) args.push_back(eval(*e.kids[i]));
+
+    // User-defined functions, then built-ins, by name.
+    if (callee.kind == SExpr::Kind::Name) {
+      const std::string& fn = callee.text;
+      if (const auto it = functions_.find(fn); it != functions_.end()) {
+        return call_function(*it->second, args);
+      }
+      if (fn == "print") {
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out_ << " ";
+          print_value(args[i]);
+        }
+        out_ << "\n";
+        return Value();
+      }
+      if (fn == "len") {
+        GROUT_REQUIRE(args.size() == 1, "len takes one argument");
+        return Value(static_cast<double>(args[0].as_array()->size()));
+      }
+      if (fn == "sync") {
+        ctx_.synchronize();
+        return Value();
+      }
+      if (fn == "now_seconds") {
+        ctx_.synchronize();
+        return Value(ctx_.now().seconds());
+      }
+      if (fn == "int" || fn == "float") {
+        GROUT_REQUIRE(args.size() == 1, fn + " takes one argument");
+        return Value(fn == "int" ? std::floor(args[0].as_number()) : args[0].as_number());
+      }
+      if (fn == "abs") {
+        GROUT_REQUIRE(args.size() == 1, "abs takes one argument");
+        return Value(std::fabs(args[0].as_number()));
+      }
+    }
+
+    // Everything else: evaluate the callee and apply polyglot call
+    // semantics (kernels, bound kernels, builtins).
+    const Value target = eval(callee);
+    return target.call(args);
+  }
+
+  Value make_polyglot_eval() {
+    auto builtin = std::make_shared<polyglot::BuiltinFn>();
+    builtin->name = "polyglot.eval";
+    polyglot::Context* ctx = &ctx_;
+    builtin->fn = [ctx](const std::vector<Value>& args) -> Value {
+      GROUT_REQUIRE(args.size() == 2, "polyglot.eval takes (language, code)");
+      const std::string& lang = args[0].as_string();
+      const std::string actual = polyglot::to_string(ctx->backend().kind());
+      GROUT_REQUIRE(lang == actual,
+                    "script targets language '" + lang + "' but the context runs " + actual +
+                        " — change the eval language id (the paper's Listing 2)");
+      return ctx->eval(args[1].as_string());
+    };
+    return Value(std::move(builtin));
+  }
+
+  void print_value(const Value& v) {
+    if (v.is_null()) {
+      out_ << "None";
+    } else if (v.is_number()) {
+      const double d = v.as_number();
+      char buf[32];
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+      } else {
+        std::snprintf(buf, sizeof buf, "%g", d);
+      }
+      out_ << buf;
+    } else if (v.is_string()) {
+      out_ << v.as_string();
+    } else if (v.is_array()) {
+      // Reads synchronize with the device (ensure_host_readable inside get).
+      auto arr = v.as_array();
+      out_ << "[";
+      const std::size_t show = std::min<std::size_t>(arr->size(), 10);
+      for (std::size_t i = 0; i < show; ++i) {
+        if (i > 0) out_ << ", ";
+        print_value(Value(arr->get(i)));
+      }
+      if (arr->size() > show) out_ << ", ...";
+      out_ << "]";
+    } else if (v.is_kernel()) {
+      out_ << "<kernel " << v.as_kernel()->name() << ">";
+    } else {
+      out_ << "<value>";
+    }
+  }
+
+  polyglot::Context& ctx_;
+  std::ostream& out_;
+  std::vector<std::unordered_map<std::string, Value>> scopes_;
+  std::unordered_map<std::string, const SStmt*> functions_;
+  std::size_t executed_{0};
+};
+
+}  // namespace
+
+std::size_t run_script(polyglot::Context& ctx, std::string_view source, std::ostream& out) {
+  Parser parser(source);
+  const std::vector<SStmtPtr> program = parser.parse_program();
+  Interpreter interp(ctx, out);
+  return interp.run(program);
+}
+
+}  // namespace grout::script

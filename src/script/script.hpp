@@ -1,0 +1,37 @@
+// GrScript: a Python-subset guest language over the polyglot runtime.
+//
+// The paper's host languages (Python, JavaScript, Java) reach GrOUT through
+// GraalVM's polyglot API; this module plays that role for the reproduction:
+// a small interpreter whose programs look like the paper's Listing 1 —
+//
+//     import polyglot
+//     build = polyglot.eval(GrOUT, "buildkernel")
+//     square = build(KERNEL, KERNEL_SIGNATURE)
+//     x = polyglot.eval(GrOUT, "float[100]")
+//     for i in range(100):
+//         x[i] = i
+//     square(GRID_SIZE, BLOCK_SIZE)(x, 100)
+//     print(x)
+//
+// Supported subset: assignments (names and subscripts), expression
+// statements, `for NAME in range(...)` and `if/else` with indented suites,
+// arithmetic/comparison expressions, int/float/string literals (including
+// triple-quoted kernel sources), `print(...)`, `len(...)`, `sync()`, and
+// the `polyglot.eval(<GrOUT|GrCUDA>, code)` entry point bound to a C++
+// polyglot Context. Variables may hold numbers, strings, or polyglot
+// values (device arrays, kernels, bound kernels).
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "polyglot/context.hpp"
+
+namespace grout::script {
+
+/// Execute a GrScript program against `ctx`. Output of print() goes to
+/// `out`. Throws grout::ParseError on syntax errors and other grout
+/// errors on runtime failures. Returns the number of statements executed.
+std::size_t run_script(polyglot::Context& ctx, std::string_view source, std::ostream& out);
+
+}  // namespace grout::script

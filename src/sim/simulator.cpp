@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace grout::sim {
+
+void Simulator::schedule_at(SimTime t, Callback fn) {
+  GROUT_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  GROUT_REQUIRE(static_cast<bool>(fn), "null event callback");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  auto& top = const_cast<Event&>(queue_.top());
+  const SimTime t = top.time;
+  Callback fn = std::move(top.fn);
+  queue_.pop();
+  GROUT_CHECK(t >= now_, "event queue time went backwards");
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) return false;
+    step();
+  }
+  return true;
+}
+
+}  // namespace grout::sim

@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace grout::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::Kernel: return "kernel";
+    case TraceCategory::Migration: return "migration";
+    case TraceCategory::Eviction: return "eviction";
+    case TraceCategory::NetworkTransfer: return "network";
+    case TraceCategory::Scheduling: return "scheduling";
+    case TraceCategory::HostCompute: return "host";
+    case TraceCategory::Other: return "other";
+  }
+  return "?";
+}
+
+void Tracer::record(TraceCategory category, std::string name, std::string location,
+                    SimTime begin, SimTime end) {
+  if (!enabled_) return;
+  GROUT_REQUIRE(end >= begin, "trace span ends before it begins");
+  spans_.push_back(TraceSpan{category, std::move(name), std::move(location), begin, end});
+}
+
+std::map<TraceCategory, SimTime> Tracer::totals_by_category() const {
+  std::map<TraceCategory, SimTime> totals;
+  for (const auto& s : spans_) {
+    totals[s.category] += s.end - s.begin;
+  }
+  return totals;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << s.name << "\", \"cat\": \"" << to_string(s.category)
+       << "\", \"ph\": \"X\", \"ts\": " << s.begin.us() << ", \"dur\": " << (s.end - s.begin).us()
+       << ", \"pid\": 0, \"tid\": \"" << s.location << "\"}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace grout::sim

@@ -1,0 +1,59 @@
+// Execution tracing for the simulated system.
+//
+// Every interesting span (kernel, migration, network transfer, scheduling
+// decision) can be recorded; benches aggregate per-category totals and tests
+// assert on ordering properties.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace grout::sim {
+
+enum class TraceCategory : std::uint8_t {
+  Kernel,
+  Migration,
+  Eviction,
+  NetworkTransfer,
+  Scheduling,
+  HostCompute,
+  Other,
+};
+
+const char* to_string(TraceCategory c);
+
+struct TraceSpan {
+  TraceCategory category{TraceCategory::Other};
+  std::string name;
+  std::string location;  // e.g. "node0/gpu1" or "controller"
+  SimTime begin;
+  SimTime end;
+};
+
+class Tracer {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TraceCategory category, std::string name, std::string location, SimTime begin,
+              SimTime end);
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Total busy time per category (spans may overlap; this is a plain sum).
+  [[nodiscard]] std::map<TraceCategory, SimTime> totals_by_category() const;
+
+  /// Serialize to Chrome trace-event JSON (load in chrome://tracing).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  bool enabled_{false};
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace grout::sim

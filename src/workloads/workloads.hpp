@@ -1,0 +1,90 @@
+// The evaluation workload suite (Section V-B, Figure 5).
+//
+// Three workloads from the GrCUDA suite plus the Black–Scholes motivating
+// example (Figure 1). Each builds its arrays and kernels through the
+// polyglot API, so the identical code runs single-node (GrCUDA backend) or
+// distributed (GrOUT backend) — the paper's Listing 2 one-line migration.
+//
+//   MLE  two-pipeline ensemble inference with branch imbalance
+//   CG   conjugate gradient: inter-dependent CEs stressing the network
+//   MV   row-partitioned dense matrix-vector product (massively parallel)
+//   BS   Black-Scholes option pricing (Figure 1)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "polyglot/context.hpp"
+
+namespace grout::workloads {
+
+enum class WorkloadKind : std::uint8_t {
+  BlackScholes,
+  Mle,
+  Cg,
+  Mv,
+  /// Extension beyond the paper's suite: sparse gathers over one huge
+  /// shared table (the FALL — frequently accessed, low locality — pages of
+  /// Shao et al. that Section III discusses). Stresses the RandomPattern
+  /// path and shows where scale-out helps *less* (the whole table must be
+  /// replicated to every node).
+  Irregular,
+};
+
+const char* to_string(WorkloadKind k);
+
+struct WorkloadParams {
+  /// Total dataset footprint (the x-axis of Figs 1 and 6).
+  Bytes footprint = 4_GiB;
+  /// Partition count of the dominant array — one CE per partition per step
+  /// (Fig 5 shows the partitioned structure).
+  std::size_t partitions = 8;
+  /// Outer iterations (CG steps / MV repetitions / BS re-pricings).
+  std::size_t iterations = 4;
+  /// MV only: keep the matrix as ONE shared allocation accessed by row
+  /// ranges instead of one allocation per partition. Whole-array transfer
+  /// granularity then makes data-locality policies glue every CE to the
+  /// first node that received the matrix (the Figure 8 pathology).
+  bool shared_matrix = false;
+  std::uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  SimTime elapsed = SimTime::zero();
+  bool completed = true;  ///< false when the run cap expired (out-of-time)
+  std::size_t ce_count = 0;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocate arrays, register/compile kernels, run host initialization.
+  virtual void build(polyglot::Context& ctx) = 0;
+
+  /// Enqueue every CE of the workload (asynchronous).
+  virtual void run(polyglot::Context& ctx) = 0;
+
+  /// Check functional results; only meaningful when the arrays are
+  /// materialized (small footprints). Returns true when unverifiable.
+  virtual bool verify(polyglot::Context& ctx) = 0;
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+  [[nodiscard]] std::size_t ces_issued() const { return ces_issued_; }
+
+ protected:
+  explicit Workload(WorkloadParams params) : params_{params} {}
+
+  WorkloadParams params_;
+  std::size_t ces_issued_{0};
+};
+
+std::unique_ptr<Workload> make_workload(WorkloadKind kind, WorkloadParams params);
+
+/// build + run + synchronize, reporting simulated duration and the
+/// out-of-time flag (paper: single runs capped at 2.5 hours).
+WorkloadResult execute_workload(polyglot::Context& ctx, Workload& workload);
+
+}  // namespace grout::workloads

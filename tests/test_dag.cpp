@@ -1,0 +1,241 @@
+// Tests for the dependency DAG (Algorithm 1: frontier insertion and
+// redundant-edge filtering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dag/dependency_dag.hpp"
+
+namespace grout::dag {
+namespace {
+
+AccessSummary r(uvm::ArrayId a) { return AccessSummary{a, false}; }
+AccessSummary w(uvm::ArrayId a) { return AccessSummary{a, true}; }
+
+bool has_ancestor(const DependencyDag& dag, VertexId v, VertexId a) {
+  const auto& anc = dag.ancestors(v);
+  return std::find(anc.begin(), anc.end(), a) != anc.end();
+}
+
+TEST(Dag, EmptyStart) {
+  DependencyDag dag;
+  EXPECT_EQ(dag.size(), 0u);
+  EXPECT_EQ(dag.edge_count(), 0u);
+  EXPECT_TRUE(dag.frontier().empty());
+}
+
+TEST(Dag, ReadAfterWriteCreatesEdge) {
+  DependencyDag dag;
+  const VertexId writer = dag.add("w", {w(0)});
+  const VertexId reader = dag.add("r", {r(0)});
+  EXPECT_TRUE(has_ancestor(dag, reader, writer));
+  EXPECT_EQ(dag.edge_count(), 1u);
+}
+
+TEST(Dag, WriteAfterReadCreatesEdge) {
+  DependencyDag dag;
+  dag.add("init", {w(0)});
+  const VertexId reader = dag.add("r", {r(0)});
+  const VertexId writer = dag.add("w2", {w(0)});
+  EXPECT_TRUE(has_ancestor(dag, writer, reader));
+}
+
+TEST(Dag, WriteAfterWriteCreatesEdge) {
+  DependencyDag dag;
+  const VertexId w1 = dag.add("w1", {w(0)});
+  const VertexId w2 = dag.add("w2", {w(0)});
+  EXPECT_TRUE(has_ancestor(dag, w2, w1));
+}
+
+TEST(Dag, ReadAfterReadIsIndependent) {
+  DependencyDag dag;
+  dag.add("init", {w(0)});
+  const VertexId r1 = dag.add("r1", {r(0)});
+  const VertexId r2 = dag.add("r2", {r(0)});
+  EXPECT_FALSE(has_ancestor(dag, r2, r1));
+  // But a later writer depends on BOTH readers.
+  const VertexId w2 = dag.add("w2", {w(0)});
+  EXPECT_TRUE(has_ancestor(dag, w2, r1));
+  EXPECT_TRUE(has_ancestor(dag, w2, r2));
+}
+
+TEST(Dag, DisjointArraysNoEdges) {
+  DependencyDag dag;
+  dag.add("a", {w(0)});
+  const VertexId b = dag.add("b", {w(1)});
+  EXPECT_TRUE(dag.ancestors(b).empty());
+}
+
+TEST(Dag, RedundantEdgeFiltered) {
+  // A -> B (chain on array 0); C reads arrays written by A and B: only the
+  // B edge must remain (the paper's filterRedundant example).
+  DependencyDag dag;
+  const VertexId a = dag.add("A", {w(0)});
+  const VertexId b = dag.add("B", {r(0), w(1)});
+  const VertexId c = dag.add("C", {r(0), r(1)});
+  EXPECT_TRUE(has_ancestor(dag, c, b));
+  EXPECT_FALSE(has_ancestor(dag, c, a));
+  EXPECT_EQ(dag.ancestors(c).size(), 1u);
+}
+
+TEST(Dag, LongChainTransitiveReduction) {
+  DependencyDag dag;
+  VertexId prev = dag.add("k0", {w(0)});
+  for (int i = 1; i < 20; ++i) {
+    const VertexId v = dag.add("k" + std::to_string(i), {w(0)});
+    EXPECT_EQ(dag.ancestors(v).size(), 1u);
+    EXPECT_TRUE(has_ancestor(dag, v, prev));
+    prev = v;
+  }
+}
+
+TEST(Dag, IsAncestorTransitive) {
+  DependencyDag dag;
+  const VertexId a = dag.add("a", {w(0)});
+  const VertexId b = dag.add("b", {r(0), w(1)});
+  const VertexId c = dag.add("c", {r(1), w(2)});
+  EXPECT_TRUE(dag.is_ancestor(a, c));
+  EXPECT_TRUE(dag.is_ancestor(b, c));
+  EXPECT_FALSE(dag.is_ancestor(c, a));
+  EXPECT_FALSE(dag.is_ancestor(c, c));
+}
+
+TEST(Dag, FrontierTracksLastWritersAndReaders) {
+  DependencyDag dag;
+  const VertexId w1 = dag.add("w1", {w(0)});
+  auto frontier = dag.frontier();
+  EXPECT_EQ(frontier, std::vector<VertexId>{w1});
+
+  const VertexId r1 = dag.add("r1", {r(0)});
+  frontier = dag.frontier();
+  EXPECT_EQ(frontier, (std::vector<VertexId>{w1, r1}));
+
+  // A new writer supersedes both.
+  const VertexId w2 = dag.add("w2", {w(0)});
+  frontier = dag.frontier();
+  EXPECT_EQ(frontier, std::vector<VertexId>{w2});
+}
+
+TEST(Dag, MarkDone) {
+  DependencyDag dag;
+  const VertexId v = dag.add("v", {w(0)});
+  EXPECT_FALSE(dag.vertex(v).done);
+  dag.mark_done(v);
+  EXPECT_TRUE(dag.vertex(v).done);
+}
+
+TEST(Dag, InvalidVertexThrows) {
+  DependencyDag dag;
+  EXPECT_THROW(dag.vertex(3), InvalidArgument);
+  EXPECT_THROW(dag.mark_done(0), InvalidArgument);
+}
+
+TEST(Dag, InvalidArrayThrows) {
+  DependencyDag dag;
+  EXPECT_THROW(dag.add("bad", {AccessSummary{uvm::kInvalidArray, true}}), InvalidArgument);
+}
+
+TEST(Dag, DiamondPattern) {
+  // init writes X; two readers fan out; a final writer fans in.
+  DependencyDag dag;
+  const VertexId init = dag.add("init", {w(0)});
+  const VertexId left = dag.add("left", {r(0), w(1)});
+  const VertexId right = dag.add("right", {r(0), w(2)});
+  const VertexId join = dag.add("join", {r(1), r(2)});
+  EXPECT_TRUE(has_ancestor(dag, left, init));
+  EXPECT_TRUE(has_ancestor(dag, right, init));
+  EXPECT_TRUE(has_ancestor(dag, join, left));
+  EXPECT_TRUE(has_ancestor(dag, join, right));
+  EXPECT_FALSE(has_ancestor(dag, join, init));  // filtered: transitive
+}
+
+TEST(Dag, DotExportContainsNodesAndEdges) {
+  DependencyDag dag;
+  const VertexId a = dag.add("producer", {w(0)});
+  const VertexId b = dag.add("consumer", {r(0)});
+  const std::string dot = dag.to_dot();
+  EXPECT_NE(dot.find("digraph ces"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"producer\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n1 [label=\"consumer\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  (void)a;
+  (void)b;
+}
+
+TEST(Dag, DotAnnotationsAppended) {
+  DependencyDag dag;
+  dag.add("k", {w(0)});
+  const std::string dot =
+      dag.to_dot([](VertexId) { return std::string("worker0"); });
+  EXPECT_NE(dot.find("k\\nworker0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random CE streams
+// ---------------------------------------------------------------------------
+
+class DagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagProperty, RandomStreamsKeepInvariants) {
+  Rng rng(GetParam());
+  DependencyDag dag;
+  constexpr std::size_t kArrays = 6;
+
+  // Reference: last writer and readers-since per array.
+  std::vector<VertexId> last_writer(kArrays, kNoVertex);
+  std::vector<std::vector<VertexId>> readers(kArrays);
+
+  for (int step = 0; step < 200; ++step) {
+    // 1-3 random accesses per CE over distinct arrays.
+    std::set<uvm::ArrayId> used;
+    std::vector<AccessSummary> accesses;
+    const std::size_t n = 1 + rng.next_below(3);
+    while (used.size() < n) {
+      const auto a = static_cast<uvm::ArrayId>(rng.next_below(kArrays));
+      if (used.insert(a).second) {
+        accesses.push_back(AccessSummary{a, rng.next_below(2) == 0});
+      }
+    }
+    const VertexId v = dag.add("ce" + std::to_string(step), accesses);
+
+    // Every conflicting predecessor must be an ancestor (directly or
+    // transitively).
+    for (const AccessSummary& acc : accesses) {
+      if (last_writer[acc.array] != kNoVertex) {
+        ASSERT_TRUE(dag.is_ancestor(last_writer[acc.array], v))
+            << "missing RAW/WAW ordering";
+      }
+      if (acc.write) {
+        for (const VertexId reader : readers[acc.array]) {
+          ASSERT_TRUE(dag.is_ancestor(reader, v)) << "missing WAR ordering";
+        }
+      }
+    }
+
+    // Direct ancestors are minimal: none reachable from another.
+    const auto& anc = dag.ancestors(v);
+    for (const VertexId a : anc) {
+      for (const VertexId b : anc) {
+        if (a != b) ASSERT_FALSE(dag.is_ancestor(a, b)) << "redundant edge kept";
+      }
+    }
+
+    for (const AccessSummary& acc : accesses) {
+      if (acc.write) {
+        last_writer[acc.array] = v;
+        readers[acc.array].clear();
+      } else {
+        readers[acc.array].push_back(v);
+      }
+    }
+  }
+
+  EXPECT_TRUE(dag.edges_respect_insertion_order());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Values(1u, 7u, 42u, 1234u, 98765u));
+
+}  // namespace
+}  // namespace grout::dag

@@ -1,0 +1,236 @@
+// Exhaustive kernel-language battery: expression semantics, precedence,
+// statement forms and parser diagnostics, each checked by executing a tiny
+// kernel and inspecting the result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "polyglot/compiled_kernel.hpp"
+#include "polyglot/kernel_lang.hpp"
+
+namespace grout::polyglot {
+namespace {
+
+/// Evaluate `expr` inside a one-thread kernel; returns o[0].
+double eval_expr(const std::string& expr, std::vector<double> scalars = {},
+                 const std::string& scalar_params = "") {
+  const std::string source = "__global__ void t(float* o" +
+                             (scalar_params.empty() ? "" : ", " + scalar_params) +
+                             ") { o[0] = " + expr + "; }";
+  const ast::KernelAst k = parse_kernel_source(source);
+  const CompiledKernel compiled(k);
+  std::vector<float> out(1, 0.0f);
+  KernelArgs args;
+  args.arrays = {ArrayBinding{ElemType::F32, out.data(), 1}};
+  args.scalars = std::move(scalars);
+  compiled.execute(args, 1, 1);
+  return out[0];
+}
+
+// ---------------------------------------------------------------------------
+// Expression semantics
+// ---------------------------------------------------------------------------
+
+TEST(ExprSemantics, Precedence) {
+  EXPECT_DOUBLE_EQ(eval_expr("2.0 + 3.0 * 4.0"), 14.0);
+  EXPECT_DOUBLE_EQ(eval_expr("(2.0 + 3.0) * 4.0"), 20.0);
+  EXPECT_DOUBLE_EQ(eval_expr("2.0 * 3.0 + 4.0 * 5.0"), 26.0);
+  EXPECT_DOUBLE_EQ(eval_expr("10.0 - 4.0 - 3.0"), 3.0);  // left assoc
+  EXPECT_DOUBLE_EQ(eval_expr("16.0 / 4.0 / 2.0"), 2.0);
+}
+
+TEST(ExprSemantics, ComparisonYieldsZeroOrOne) {
+  EXPECT_DOUBLE_EQ(eval_expr("3.0 < 4.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("3.0 > 4.0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("4.0 <= 4.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("4.0 >= 5.0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("4.0 == 4.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("4.0 != 4.0"), 0.0);
+}
+
+TEST(ExprSemantics, ComparisonBindsLooserThanArithmetic) {
+  EXPECT_DOUBLE_EQ(eval_expr("1.0 + 1.0 == 2.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("2.0 * 2.0 > 3.0"), 1.0);
+}
+
+TEST(ExprSemantics, LogicalOperators) {
+  EXPECT_DOUBLE_EQ(eval_expr("1.0 && 1.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("1.0 && 0.0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("0.0 || 2.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("0.0 || 0.0"), 0.0);
+  // || binds looser than &&.
+  EXPECT_DOUBLE_EQ(eval_expr("1.0 || 0.0 && 0.0"), 1.0);
+}
+
+TEST(ExprSemantics, UnaryOperators) {
+  EXPECT_DOUBLE_EQ(eval_expr("-3.0"), -3.0);
+  EXPECT_DOUBLE_EQ(eval_expr("-(-3.0) + 1.0"), 4.0);  // double negation
+  EXPECT_DOUBLE_EQ(eval_expr("!0.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("!5.0"), 0.0);
+  EXPECT_DOUBLE_EQ(eval_expr("+7.0"), 7.0);
+}
+
+TEST(ExprSemantics, Modulo) {
+  EXPECT_DOUBLE_EQ(eval_expr("7.0 % 3.0"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_expr("9.0 % 3.0"), 0.0);
+}
+
+TEST(ExprSemantics, NestedTernary) {
+  EXPECT_DOUBLE_EQ(eval_expr("1.0 ? 2.0 : 0.0 ? 3.0 : 4.0"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_expr("0.0 ? 2.0 : 0.0 ? 3.0 : 4.0"), 4.0);
+  EXPECT_DOUBLE_EQ(eval_expr("0.0 ? 2.0 : 1.0 ? 3.0 : 4.0"), 3.0);
+}
+
+TEST(ExprSemantics, ScalarParamsArriveInOrder) {
+  EXPECT_DOUBLE_EQ(eval_expr("a * 10.0 + b", {3.0, 4.0}, "float a, float b"), 34.0);
+}
+
+TEST(ExprSemantics, FloatSuffixesAndScientific) {
+  EXPECT_DOUBLE_EQ(eval_expr("1.5f + 0.5F"), 2.0);
+  EXPECT_FLOAT_EQ(static_cast<float>(eval_expr("1e2 + 1.5e-1")), 100.15f);
+  EXPECT_DOUBLE_EQ(eval_expr("2.5E+1"), 25.0);
+}
+
+TEST(ExprSemantics, CastsAreNoOps) {
+  EXPECT_FLOAT_EQ(static_cast<float>(eval_expr("(int)3.7 + 1.0")), 4.7f);  // value kept
+  EXPECT_DOUBLE_EQ(eval_expr("(float)(1.0 + 2.0)"), 3.0);
+}
+
+TEST(ExprSemantics, BuiltinComposition) {
+  EXPECT_NEAR(eval_expr("log(exp(2.0))"), 2.0, 1e-12);
+  EXPECT_NEAR(eval_expr("pow(sqrt(2.0), 2.0)"), 2.0, 1e-12);
+  EXPECT_NEAR(eval_expr("fmax(fmin(5.0, 3.0), 1.0)"), 3.0, 1e-12);
+  EXPECT_NEAR(eval_expr("fabs(-2.5)"), 2.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Statement forms
+// ---------------------------------------------------------------------------
+
+double run_body(const std::string& body) {
+  const std::string source = "__global__ void t(float* o) { " + body + " }";
+  const ast::KernelAst k = parse_kernel_source(source);
+  const CompiledKernel compiled(k);
+  std::vector<float> out(4, 0.0f);
+  KernelArgs args;
+  args.arrays = {ArrayBinding{ElemType::F32, out.data(), 4}};
+  compiled.execute(args, 1, 1);
+  return out[0];
+}
+
+TEST(StmtSemantics, CompoundAssignOnLocals) {
+  EXPECT_DOUBLE_EQ(run_body("float a = 10.0; a += 5.0; a -= 3.0; a *= 2.0; a /= 4.0; o[0] = a;"),
+                   6.0);
+}
+
+TEST(StmtSemantics, CompoundAssignOnElements) {
+  EXPECT_DOUBLE_EQ(run_body("o[0] = 8.0; o[0] /= 2.0; o[0] += 1.0; o[0] *= 3.0; o[0] -= 5.0;"),
+                   10.0);
+}
+
+TEST(StmtSemantics, IfWithoutBraces) {
+  EXPECT_DOUBLE_EQ(run_body("float a = 1.0; if (a > 0.0) o[0] = 7.0;"), 7.0);
+}
+
+TEST(StmtSemantics, ElseIfChain) {
+  EXPECT_DOUBLE_EQ(run_body(R"(
+    float a = 2.0;
+    if (a == 1.0) { o[0] = 10.0; }
+    else if (a == 2.0) { o[0] = 20.0; }
+    else { o[0] = 30.0; }
+  )"),
+                   20.0);
+}
+
+TEST(StmtSemantics, EmptyStatementsTolerated) {
+  EXPECT_DOUBLE_EQ(run_body(";; o[0] = 1.0;;"), 1.0);
+}
+
+TEST(StmtSemantics, ForWithCompoundUpdate) {
+  EXPECT_DOUBLE_EQ(run_body(R"(
+    float acc = 0.0;
+    for (int j = 0; j < 16; j += 4) { acc += j; }
+    o[0] = acc;
+  )"),
+                   24.0);  // 0+4+8+12
+}
+
+TEST(StmtSemantics, ForCountingDown) {
+  EXPECT_DOUBLE_EQ(run_body(R"(
+    float acc = 0.0;
+    for (int j = 5; j > 0; --j) { acc += j; }
+    o[0] = acc;
+  )"),
+                   15.0);
+}
+
+TEST(StmtSemantics, ForWithAssignInit) {
+  EXPECT_DOUBLE_EQ(run_body(R"(
+    int j = 0;
+    float acc = 0.0;
+    for (j = 2; j < 5; ++j) { acc += j; }
+    o[0] = acc;
+  )"),
+                   9.0);
+}
+
+TEST(StmtSemantics, ZeroTripLoop) {
+  EXPECT_DOUBLE_EQ(run_body(R"(
+    float acc = 42.0;
+    for (int j = 5; j < 5; ++j) { acc = 0.0; }
+    o[0] = acc;
+  )"),
+                   42.0);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(ParserDiagnostics, MissingSemicolon) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(float* o) { o[0] = 1.0 }"), ParseError);
+}
+
+TEST(ParserDiagnostics, UnbalancedParens) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(float* o) { o[0] = (1.0; }"),
+               ParseError);
+}
+
+TEST(ParserDiagnostics, UnbalancedBracket) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(float* o) { o[0 = 1.0; }"), ParseError);
+}
+
+TEST(ParserDiagnostics, MissingTernaryColon) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(float* o) { o[0] = 1.0 ? 2.0; }"),
+               ParseError);
+}
+
+TEST(ParserDiagnostics, OnlyXDimension) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(float* o) { o[0] = threadIdx.y; }"),
+               ParseError);
+}
+
+TEST(ParserDiagnostics, UnsupportedParamType) {
+  EXPECT_THROW(parse_kernel_source("__global__ void f(half* o) { o[0] = 1.0; }"), ParseError);
+}
+
+TEST(ParserDiagnostics, MessageMentionsContext) {
+  try {
+    parse_kernel_source("__global__ void f(float* o) { o[0] = @; }");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("kernel parse error"), std::string::npos);
+  }
+}
+
+TEST(ParserDiagnostics, RestrictQualifierAccepted) {
+  const ast::KernelAst k = parse_kernel_source(
+      "__global__ void f(const float* __restrict__ in, float* __restrict__ out) "
+      "{ out[0] = in[0]; }");
+  EXPECT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.params[0].name, "in");
+}
+
+}  // namespace
+}  // namespace grout::polyglot

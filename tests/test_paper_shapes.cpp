@@ -1,0 +1,197 @@
+// Golden-shape regression tests at the paper's full scale.
+//
+// These run the same configurations as the bench/ binaries (V100-16GB
+// pairs, GiB-scale datasets — fast, since time is simulated) and pin the
+// qualitative claims of every figure. If a model change moves a cliff or
+// flips a crossover, these fail before EXPERIMENTS.md goes stale.
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.hpp"
+
+namespace grout {
+namespace {
+
+using bench::gib;
+using bench::run_grout;
+using bench::run_single_node;
+using workloads::WorkloadKind;
+
+// ---------------------------------------------------------------------------
+// Figure 1 / 6a: the single-node cliff
+// ---------------------------------------------------------------------------
+
+TEST(PaperShapes, Fig1BlackScholesRedBarsExplode) {
+  const bench::RunOutcome at32 = run_single_node(WorkloadKind::BlackScholes, gib(32));
+  const bench::RunOutcome at96 = run_single_node(WorkloadKind::BlackScholes, gib(96));
+  EXPECT_GT(at96.seconds / at32.seconds, 500.0);
+}
+
+TEST(PaperShapes, Fig6aLinearRegionBelow2x) {
+  for (const auto kind : {WorkloadKind::Mle, WorkloadKind::Cg, WorkloadKind::Mv}) {
+    const double t8 = run_single_node(kind, gib(8)).seconds;
+    const double t16 = run_single_node(kind, gib(16)).seconds;
+    EXPECT_NEAR(t16 / t8, 2.0, 0.5) << to_string(kind);
+  }
+}
+
+TEST(PaperShapes, Fig6aCliffBetween64And96) {
+  // Paper: CG/MLE steps ~70x, MV "slower than 342x" (capped).
+  const double mle = run_single_node(WorkloadKind::Mle, gib(96)).seconds /
+                     run_single_node(WorkloadKind::Mle, gib(64)).seconds;
+  const double cg = run_single_node(WorkloadKind::Cg, gib(96)).seconds /
+                    run_single_node(WorkloadKind::Cg, gib(64)).seconds;
+  const double mv = run_single_node(WorkloadKind::Mv, gib(96)).seconds /
+                    run_single_node(WorkloadKind::Mv, gib(64)).seconds;
+  EXPECT_GT(mle, 20.0);
+  EXPECT_LT(mle, 200.0);
+  EXPECT_GT(cg, 20.0);
+  EXPECT_LT(cg, 200.0);
+  EXPECT_GT(mv, 200.0);  // the massively parallel workload is far worse
+}
+
+TEST(PaperShapes, Fig6aMvRunsOutOfTimeAtLargestSizes) {
+  EXPECT_FALSE(run_single_node(WorkloadKind::Mv, gib(160)).completed);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6b: GrOUT flattens the cliff
+// ---------------------------------------------------------------------------
+
+TEST(PaperShapes, Fig6bStepsCollapseUnderDistribution) {
+  for (const auto kind : {WorkloadKind::Cg, WorkloadKind::Mv}) {
+    const double step =
+        run_grout(kind, gib(96), 2, core::PolicyKind::VectorStep).seconds /
+        run_grout(kind, gib(64), 2, core::PolicyKind::VectorStep).seconds;
+    EXPECT_LT(step, 5.0) << to_string(kind);  // paper: 4.1x / 13.3x vs 70-342x
+  }
+}
+
+TEST(PaperShapes, Fig6bAllSizesComplete) {
+  for (const double size : {96.0, 160.0}) {
+    EXPECT_TRUE(run_grout(WorkloadKind::Mv, gib(size), 2,
+                          core::PolicyKind::VectorStep)
+                    .completed)
+        << size;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: the crossover
+// ---------------------------------------------------------------------------
+
+TEST(PaperShapes, Fig7SingleNodeWinsBelowOversubscription) {
+  for (const auto kind : {WorkloadKind::Mle, WorkloadKind::Cg, WorkloadKind::Mv}) {
+    const double speedup =
+        run_single_node(kind, gib(16)).seconds /
+        run_grout(kind, gib(16), 2, core::PolicyKind::VectorStep).seconds;
+    EXPECT_LT(speedup, 0.5) << to_string(kind);
+  }
+}
+
+TEST(PaperShapes, Fig7GroutWinsAt3x) {
+  for (const auto kind : {WorkloadKind::Mle, WorkloadKind::Cg, WorkloadKind::Mv}) {
+    const double speedup =
+        run_single_node(kind, gib(96)).seconds /
+        run_grout(kind, gib(96), 2, core::PolicyKind::VectorStep).seconds;
+    EXPECT_GT(speedup, 1.0) << to_string(kind);
+  }
+}
+
+TEST(PaperShapes, Fig7OrderingMleBelowCgBelowMv) {
+  // The paper's peaks: MLE 1.64x < CG 7.45x < MV >24.42x.
+  const auto speedup_at = [](WorkloadKind kind, double size) {
+    return run_single_node(kind, gib(size)).seconds /
+           run_grout(kind, gib(size), 2, core::PolicyKind::VectorStep).seconds;
+  };
+  const double mle = speedup_at(WorkloadKind::Mle, 160);
+  const double cg = speedup_at(WorkloadKind::Cg, 160);
+  const double mv = speedup_at(WorkloadKind::Mv, 160);
+  EXPECT_LT(mle, cg);
+  EXPECT_LT(cg, mv);
+  EXPECT_GT(mv, 20.0);  // paper: above 24.42x, single node out of time
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: policy behaviour at 3x
+// ---------------------------------------------------------------------------
+
+TEST(PaperShapes, Fig8OnlineMatchesOfflineForMle) {
+  const double vs = run_grout(WorkloadKind::Mle, gib(96), 2,
+                              core::PolicyKind::VectorStep)
+                        .seconds;
+  const double ms = run_grout(WorkloadKind::Mle, gib(96), 2,
+                              core::PolicyKind::MinTransferSize)
+                        .seconds;
+  EXPECT_NEAR(ms / vs, 1.0, 0.5);
+}
+
+TEST(PaperShapes, Fig8MinTransferCatastrophicForSharedMatrixMv) {
+  const double rr = run_grout(WorkloadKind::Mv, gib(96), 2, core::PolicyKind::RoundRobin,
+                              core::ExplorationLevel::Medium, /*shared=*/true,
+                              /*iterations=*/2)
+                        .seconds;
+  const bench::RunOutcome ms =
+      run_grout(WorkloadKind::Mv, gib(96), 2, core::PolicyKind::MinTransferSize,
+                core::ExplorationLevel::Medium, true, 2);
+  EXPECT_GT(ms.seconds / rr, 10.0);
+  EXPECT_FALSE(ms.completed);  // hits the 2.5 h cap, like the paper
+}
+
+TEST(PaperShapes, Fig8ExplorationLevelsIndistinguishable) {
+  const double low = run_grout(WorkloadKind::Cg, gib(96), 2,
+                               core::PolicyKind::MinTransferSize,
+                               core::ExplorationLevel::Low)
+                         .seconds;
+  const double high = run_grout(WorkloadKind::Cg, gib(96), 2,
+                                core::PolicyKind::MinTransferSize,
+                                core::ExplorationLevel::High)
+                          .seconds;
+  EXPECT_NEAR(low / high, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 is real wall-clock (covered by bench/fig9); here we pin only the
+// structural property that static policies ignore the node count.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Ablation shapes (extensions; pinned so EXPERIMENTS.md stays honest)
+// ---------------------------------------------------------------------------
+
+TEST(PaperShapes, AblationDIrregularBenefitsLessFromScaleOut) {
+  const auto speedup_at = [](WorkloadKind kind) {
+    return run_single_node(kind, gib(96)).seconds /
+           run_grout(kind, gib(96), 2, core::PolicyKind::VectorStep).seconds;
+  };
+  EXPECT_GT(speedup_at(WorkloadKind::Mv), 3.0 * speedup_at(WorkloadKind::Irregular));
+}
+
+TEST(PaperShapes, AblationEScaleUpBeatsScaleOutAtEqualGpus) {
+  gpusim::GpuNodeConfig four_gpu = bench::paper_node();
+  four_gpu.gpu_count = 4;
+  polyglot::Context ctx = polyglot::Context::grcuda(
+      four_gpu, runtime::StreamPolicyKind::DataLocal, bench::run_cap());
+  auto w = workloads::make_workload(
+      WorkloadKind::Mv, bench::params_for(WorkloadKind::Mv, gib(128)));
+  const double scale_up = workloads::execute_workload(ctx, *w).elapsed.seconds();
+  const double scale_out =
+      run_grout(WorkloadKind::Mv, gib(128), 2, core::PolicyKind::VectorStep).seconds;
+  EXPECT_LT(scale_up, scale_out);  // no network to pay
+}
+
+TEST(PaperShapes, Fig9StaticPoliciesNodeCountInvariant) {
+  core::RoundRobinPolicy rr;
+  core::CoherenceDirectory dir(256);
+  const std::vector<core::PlacementParam> none;
+  core::PlacementQuery q;
+  q.params = &none;
+  q.directory = &dir;
+  q.workers = 256;
+  // One full cycle touches every node exactly once, independent of count.
+  std::vector<bool> seen(256, false);
+  for (int i = 0; i < 256; ++i) seen[rr.assign(q)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace grout

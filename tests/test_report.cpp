@@ -1,0 +1,80 @@
+// Tests for the result-table formatter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "report/table.hpp"
+
+namespace grout::report {
+namespace {
+
+Table sample() {
+  Table t({"name", "time [s]", "speedup"});
+  t.add_row({"MV", "12.00", "3.40x"});
+  t.add_row({"CG", ">9000.00", "1.00x"});
+  return t;
+}
+
+TEST(ReportTable, Dimensions) {
+  const Table t = sample();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(ReportTable, TextAlignsColumns) {
+  const std::string text = sample().to_text();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Every line has the same width (alignment invariant).
+  std::size_t width = std::string::npos;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+}
+
+TEST(ReportTable, Markdown) {
+  const std::string md = sample().to_markdown();
+  EXPECT_NE(md.find("| name | time [s] | speedup |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---:|---:|"), std::string::npos);
+  EXPECT_NE(md.find("| MV | 12.00 | 3.40x |"), std::string::npos);
+}
+
+TEST(ReportTable, Csv) {
+  const std::string csv = sample().to_csv();
+  EXPECT_NE(csv.find("name,time [s],speedup\n"), std::string::npos);
+  EXPECT_NE(csv.find("MV,12.00,3.40x\n"), std::string::npos);
+}
+
+TEST(ReportTable, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\",\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(ReportTable, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(ReportTable, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(ReportCells, Formatting) {
+  EXPECT_EQ(cell_seconds(12.345), "12.35");
+  EXPECT_EQ(cell_seconds(9000.0, true), ">9000.00");
+  EXPECT_EQ(cell_factor(3.4), "3.40x");
+  EXPECT_EQ(cell_gib(96.0), "96 GiB");
+}
+
+}  // namespace
+}  // namespace grout::report

@@ -1,0 +1,197 @@
+// Tests for the GrCUDA-style intra-node runtime (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include "runtime/intra_node_runtime.hpp"
+
+namespace grout::runtime {
+namespace {
+
+struct RuntimeFixture : ::testing::Test {
+  explicit RuntimeFixture(StreamPolicyKind policy = StreamPolicyKind::LeastLoaded) {
+    gpusim::GpuNodeConfig cfg;
+    cfg.gpu_count = 2;
+    cfg.device.memory = 8_MiB;
+    cfg.tuning.page_size = 1_MiB;
+    node = std::make_unique<gpusim::GpuNode>(sim, cfg);
+    rt = std::make_unique<IntraNodeRuntime>(*node, policy, 2);
+  }
+
+  uvm::ArrayId alloc_populated(Bytes bytes, const std::string& name = "a") {
+    const uvm::ArrayId id = node->uvm().alloc(bytes, name);
+    node->uvm().host_access(id, uvm::AccessMode::Write);
+    return id;
+  }
+
+  gpusim::KernelLaunchSpec kernel(uvm::ArrayId array, uvm::AccessMode mode,
+                                  double flops = 1.25e12) {
+    gpusim::KernelLaunchSpec spec;
+    spec.name = "k";
+    spec.flops = flops;
+    spec.params.push_back(
+        uvm::ParamAccess{array, uvm::ByteRange{}, mode, uvm::StreamingPattern{}});
+    return spec;
+  }
+
+  SimTime end_of(const Submission& sub) {
+    sim.run();
+    return sub.done->when();
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<gpusim::GpuNode> node;
+  std::unique_ptr<IntraNodeRuntime> rt;
+};
+
+TEST_F(RuntimeFixture, SubmissionCompletes) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission sub = rt->submit_kernel(kernel(a, uvm::AccessMode::Read));
+  sim.run();
+  EXPECT_TRUE(sub.done->completed());
+  EXPECT_TRUE(rt->local_dag().vertex(sub.vertex).done);
+}
+
+TEST_F(RuntimeFixture, RawDependencySerializes) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission w = rt->submit_kernel(kernel(a, uvm::AccessMode::Write));
+  const Submission r = rt->submit_kernel(kernel(a, uvm::AccessMode::Read));
+  sim.run();
+  EXPECT_GE(r.done->when(), w.done->when());
+  EXPECT_EQ(rt->local_dag().ancestors(r.vertex).size(), 1u);
+}
+
+TEST_F(RuntimeFixture, IndependentKernelsOverlap) {
+  const uvm::ArrayId a = alloc_populated(2_MiB, "a");
+  const uvm::ArrayId b = alloc_populated(2_MiB, "b");
+  const Submission s1 = rt->submit_kernel(kernel(a, uvm::AccessMode::Read));
+  const Submission s2 = rt->submit_kernel(kernel(b, uvm::AccessMode::Read));
+  sim.run();
+  // Different streams: compute must overlap, so neither waits for the other
+  // to finish before starting.
+  const auto& dag = rt->local_dag();
+  EXPECT_TRUE(dag.ancestors(s1.vertex).empty());
+  EXPECT_TRUE(dag.ancestors(s2.vertex).empty());
+  SimTime total = std::max(s1.done->when(), s2.done->when());
+  // Serialized execution would take at least 2x the single-kernel time.
+  EXPECT_LT(total.seconds(), 2 * 0.1 + 0.05);
+}
+
+TEST_F(RuntimeFixture, HostAccessWaitsForWriter) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission w = rt->submit_kernel(kernel(a, uvm::AccessMode::Write));
+  const Submission read_back = rt->submit_host_access(a, uvm::AccessMode::Read);
+  sim.run();
+  EXPECT_GE(read_back.done->when(), w.done->when());
+  EXPECT_TRUE(node->uvm().page_resident(a, 0, uvm::kHostDevice));
+}
+
+TEST_F(RuntimeFixture, HostAccessExtraDurationCharged) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission s =
+      rt->submit_host_access(a, uvm::AccessMode::Write, SimTime::from_ms(5.0), "init");
+  sim.run();
+  EXPECT_GE(s.done->when(), SimTime::from_ms(5.0));
+}
+
+TEST_F(RuntimeFixture, FenceWaitsForAccessSet) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission w = rt->submit_kernel(kernel(a, uvm::AccessMode::Write));
+  const Submission fence = rt->submit_fence({dag::AccessSummary{a, false}});
+  sim.run();
+  EXPECT_EQ(fence.done->when(), w.done->when());
+}
+
+TEST_F(RuntimeFixture, AdoptWaitsForExternalAndLocal) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission reader = rt->submit_kernel(kernel(a, uvm::AccessMode::Read));
+  auto arrival = gpusim::make_event();
+  const Submission adopt = rt->submit_adopt(a, arrival);
+  sim.run();
+  EXPECT_FALSE(adopt.done->completed());  // network not arrived yet
+  arrival->complete(sim.now());
+  sim.run();
+  EXPECT_TRUE(adopt.done->completed());
+  EXPECT_GE(adopt.done->when(), reader.done->when());
+  EXPECT_TRUE(node->uvm().page_resident(a, 0, uvm::kHostDevice));
+}
+
+TEST_F(RuntimeFixture, QuiescentEventCoversAllSubmissions) {
+  const uvm::ArrayId a = alloc_populated(2_MiB);
+  const Submission s1 = rt->submit_kernel(kernel(a, uvm::AccessMode::ReadWrite));
+  const Submission s2 = rt->submit_kernel(kernel(a, uvm::AccessMode::ReadWrite));
+  auto quiescent = rt->quiescent_event();
+  sim.run();
+  EXPECT_TRUE(quiescent->completed());
+  EXPECT_GE(quiescent->when(), std::max(s1.done->when(), s2.done->when()));
+}
+
+// ---------------------------------------------------------------------------
+// Stream policies
+// ---------------------------------------------------------------------------
+
+struct RoundRobinFixture : RuntimeFixture {
+  RoundRobinFixture() : RuntimeFixture(StreamPolicyKind::RoundRobin) {}
+};
+
+TEST_F(RoundRobinFixture, SpreadsKernelsOverAllStreams) {
+  // 4 independent kernels over 2 GPUs x 2 streams: every GPU runs two.
+  std::vector<uvm::ArrayId> arrays;
+  for (int i = 0; i < 4; ++i) {
+    arrays.push_back(alloc_populated(1_MiB, "a" + std::to_string(i)));
+    rt->submit_kernel(kernel(arrays.back(), uvm::AccessMode::Read));
+  }
+  sim.run();
+  EXPECT_EQ(node->gpu(0).records().size(), 2u);
+  EXPECT_EQ(node->gpu(1).records().size(), 2u);
+}
+
+struct DataLocalFixture : RuntimeFixture {
+  DataLocalFixture() : RuntimeFixture(StreamPolicyKind::DataLocal) {}
+};
+
+TEST_F(DataLocalFixture, RepeatKernelsStickToTheirGpu) {
+  const uvm::ArrayId a = alloc_populated(4_MiB, "a");
+  const uvm::ArrayId b = alloc_populated(4_MiB, "b");
+  for (int iter = 0; iter < 3; ++iter) {
+    rt->submit_kernel(kernel(a, uvm::AccessMode::Read));
+    rt->submit_kernel(kernel(b, uvm::AccessMode::Read));
+  }
+  sim.run();
+  // Affinity keeps each array on one GPU for all iterations, and the two
+  // arrays land on different GPUs (first placements are least-loaded).
+  EXPECT_EQ(node->gpu(0).records().size(), 3u);
+  EXPECT_EQ(node->gpu(1).records().size(), 3u);
+}
+
+TEST_F(RuntimeFixture, PolicyNames) {
+  EXPECT_STREQ(to_string(StreamPolicyKind::RoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(StreamPolicyKind::LeastLoaded), "least-loaded");
+  EXPECT_STREQ(to_string(StreamPolicyKind::DataLocal), "data-local");
+}
+
+TEST_F(RuntimeFixture, ChainedPipelineEndToEnd) {
+  // init -> k1 writes b from a -> k2 writes c from b -> host read c.
+  const uvm::ArrayId a = alloc_populated(2_MiB, "a");
+  const uvm::ArrayId b = node->uvm().alloc(2_MiB, "b");
+  const uvm::ArrayId c = node->uvm().alloc(2_MiB, "c");
+
+  gpusim::KernelLaunchSpec k1;
+  k1.name = "k1";
+  k1.flops = 1e9;
+  k1.params = {uvm::ParamAccess{a, {}, uvm::AccessMode::Read, uvm::StreamingPattern{}},
+               uvm::ParamAccess{b, {}, uvm::AccessMode::Write, uvm::StreamingPattern{}}};
+  gpusim::KernelLaunchSpec k2;
+  k2.name = "k2";
+  k2.flops = 1e9;
+  k2.params = {uvm::ParamAccess{b, {}, uvm::AccessMode::Read, uvm::StreamingPattern{}},
+               uvm::ParamAccess{c, {}, uvm::AccessMode::Write, uvm::StreamingPattern{}}};
+
+  const Submission s1 = rt->submit_kernel(std::move(k1));
+  const Submission s2 = rt->submit_kernel(std::move(k2));
+  const Submission read_c = rt->submit_host_access(c, uvm::AccessMode::Read);
+  sim.run();
+  EXPECT_GE(s2.done->when(), s1.done->when());
+  EXPECT_GE(read_c.done->when(), s2.done->when());
+}
+
+}  // namespace
+}  // namespace grout::runtime

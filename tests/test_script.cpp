@@ -1,0 +1,322 @@
+// Tests for the GrScript guest language (the Listing 1 front end).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "script/script.hpp"
+
+namespace grout::script {
+namespace {
+
+using polyglot::Context;
+
+Context small_ctx() {
+  gpusim::GpuNodeConfig cfg;
+  cfg.gpu_count = 2;
+  cfg.device.memory = 8_MiB;
+  cfg.tuning.page_size = 1_MiB;
+  return Context::grcuda(cfg);
+}
+
+std::string run(Context& ctx, std::string_view source) {
+  std::ostringstream out;
+  run_script(ctx, source, out);
+  return out.str();
+}
+
+std::string run(std::string_view source) {
+  Context ctx = small_ctx();
+  return run(ctx, source);
+}
+
+// ---------------------------------------------------------------------------
+// Language basics
+// ---------------------------------------------------------------------------
+
+TEST(Script, PrintNumbersAndStrings) {
+  EXPECT_EQ(run("print(42)"), "42\n");
+  EXPECT_EQ(run("print(1.5)"), "1.5\n");
+  EXPECT_EQ(run("print(\"hello\")"), "hello\n");
+  EXPECT_EQ(run("print(\"a\", 1, \"b\")"), "a 1 b\n");
+}
+
+TEST(Script, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run("print(2 + 3 * 4)"), "14\n");
+  EXPECT_EQ(run("print((2 + 3) * 4)"), "20\n");
+  EXPECT_EQ(run("print(7 % 3)"), "1\n");
+  EXPECT_EQ(run("print(7 // 2)"), "3\n");
+  EXPECT_EQ(run("print(-3 + 1)"), "-2\n");
+  EXPECT_EQ(run("print(1 + 2 == 3)"), "1\n");
+}
+
+TEST(Script, VariablesAndStrings) {
+  EXPECT_EQ(run("x = 10\ny = x * 2\nprint(y)"), "20\n");
+  EXPECT_EQ(run("s = \"foo\" + \"bar\"\nprint(s)"), "foobar\n");
+}
+
+TEST(Script, ForLoopVariants) {
+  EXPECT_EQ(run("t = 0\nfor i in range(5):\n  t = t + i\nprint(t)"), "10\n");
+  EXPECT_EQ(run("t = 0\nfor i in range(2, 5):\n  t = t + i\nprint(t)"), "9\n");
+  EXPECT_EQ(run("t = 0\nfor i in range(10, 0, -2):\n  t = t + i\nprint(t)"), "30\n");
+}
+
+TEST(Script, IfElse) {
+  EXPECT_EQ(run("x = 3\nif x > 2:\n  print(\"big\")\nelse:\n  print(\"small\")"), "big\n");
+  EXPECT_EQ(run("x = 1\nif x > 2:\n  print(\"big\")\nelse:\n  print(\"small\")"), "small\n");
+}
+
+TEST(Script, NestedBlocks) {
+  EXPECT_EQ(run(R"(
+t = 0
+for i in range(3):
+  for j in range(3):
+    if i == j:
+      t = t + 1
+print(t)
+)"),
+            "3\n");
+}
+
+TEST(Script, CommentsAndBlankLines) {
+  EXPECT_EQ(run("# leading comment\n\nx = 1  # trailing\n\nprint(x)\n"), "1\n");
+}
+
+TEST(Script, WhileLoop) {
+  EXPECT_EQ(run("n = 1\nwhile n < 100:\n  n = n * 2\nprint(n)"), "128\n");
+}
+
+TEST(Script, FunctionsWithReturn) {
+  EXPECT_EQ(run(R"(
+def square(v):
+  return v * v
+
+def add(a, b):
+  return a + b
+
+print(add(square(3), square(4)))
+)"),
+            "25\n");
+}
+
+TEST(Script, FunctionLocalScope) {
+  EXPECT_EQ(run(R"(
+x = 10
+def shadow(x):
+  x = x + 1
+  return x
+print(shadow(1), x)
+)"),
+            "2 10\n");
+}
+
+TEST(Script, RecursiveFunction) {
+  EXPECT_EQ(run(R"(
+def fib(n):
+  if n < 2:
+    return n
+  return fib(n - 1) + fib(n - 2)
+print(fib(12))
+)"),
+            "144\n");
+}
+
+TEST(Script, FunctionWithoutReturnYieldsNone) {
+  EXPECT_EQ(run("def f():\n  pass\nprint(f())"), "None\n");
+}
+
+TEST(Script, ReturnOutsideFunctionRejected) {
+  EXPECT_THROW(run("return 1"), InvalidArgument);
+}
+
+TEST(Script, FunctionArityChecked) {
+  EXPECT_THROW(run("def f(a):\n  return a\nf(1, 2)"), InvalidArgument);
+}
+
+TEST(Script, DeepRecursionBounded) {
+  EXPECT_THROW(run("def f(n):\n  return f(n + 1)\nf(0)"), InvalidArgument);
+}
+
+TEST(Script, FunctionDrivingKernels) {
+  Context ctx = small_ctx();
+  const std::string out = run(ctx, R"PY(
+import polyglot
+build = polyglot.eval(GrCUDA, "buildkernel")
+scale = build("__global__ void s(float* x, float f, int n) { int i = threadIdx.x; if (i < n) { x[i] = x[i] * f; } }")
+
+def run_scaled(arr, factor, n):
+  scale(1, 64)(arr, factor, n)
+  sync()
+  return arr[1]
+
+x = polyglot.eval(GrCUDA, "float[16]")
+for i in range(16):
+  x[i] = i
+print(run_scaled(x, 10.0, 16))
+print(run_scaled(x, 0.5, 16))
+)PY");
+  EXPECT_EQ(out, "10\n5\n");
+}
+
+TEST(Script, Builtins) {
+  EXPECT_EQ(run("print(abs(-4))"), "4\n");
+  EXPECT_EQ(run("print(int(3.9))"), "3\n");
+}
+
+// ---------------------------------------------------------------------------
+// Polyglot integration
+// ---------------------------------------------------------------------------
+
+TEST(Script, ArrayRoundTrip) {
+  EXPECT_EQ(run(R"(
+import polyglot
+x = polyglot.eval(GrCUDA, "float[8]")
+for i in range(8):
+  x[i] = i * i
+print(x[3], len(x))
+print(x)
+)"),
+            "9 8\n[0, 1, 4, 9, 16, 25, 36, 49]\n");
+}
+
+TEST(Script, Listing1RunsVerbatim) {
+  // The paper's Listing 1, adjusted only for the host language id.
+  Context ctx = small_ctx();
+  const std::string out = run(ctx, R"PY(
+import polyglot
+
+KERNEL = """
+extern "C" __global__ void square(float* x, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    x[i] = x[i] * x[i];
+  }
+}
+"""
+KERNEL_SIGNATURE = "square(x: inout pointer float, n: sint32)"
+GRID_SIZE = 1
+BLOCK_SIZE = 128
+
+build = polyglot.eval(GrCUDA, "buildkernel")
+square = build(KERNEL, KERNEL_SIGNATURE)
+x = polyglot.eval(GrCUDA, "float[100]")
+
+for i in range(100):
+  x[i] = i
+square(GRID_SIZE, BLOCK_SIZE)(x, 100)
+print(x)
+)PY");
+  EXPECT_EQ(out, "[0, 1, 4, 9, 16, 25, 36, 49, 64, 81, ...]\n");
+  EXPECT_GT(ctx.now(), SimTime::zero());  // the launch really ran
+}
+
+TEST(Script, WrongLanguageIdExplains) {
+  Context ctx = small_ctx();  // GrCUDA context
+  try {
+    run(ctx, "import polyglot\nx = polyglot.eval(GrOUT, \"float[4]\")\n");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("Listing 2"), std::string::npos);
+  }
+}
+
+TEST(Script, SyncAndTiming) {
+  Context ctx = small_ctx();
+  const std::string out = run(ctx, R"(
+import polyglot
+x = polyglot.eval(GrCUDA, "float[64]")
+build = polyglot.eval(GrCUDA, "buildkernel")
+zero = build("__global__ void z(float* o, int n) { int i = threadIdx.x; if (i < n) { o[i] = 7.0; } }")
+zero(1, 64)(x, 64)
+sync()
+if now_seconds() > 0:
+  print("ran")
+)");
+  EXPECT_EQ(out, "ran\n");
+}
+
+TEST(Script, KernelPrinting) {
+  EXPECT_EQ(run(R"(
+import polyglot
+build = polyglot.eval(GrCUDA, "buildkernel")
+k = build("__global__ void foo(float* o) { o[0] = 1.0; }")
+print(k)
+)"),
+            "<kernel foo>\n");
+}
+
+TEST(Script, DistributedBackendEndToEnd) {
+  core::GroutConfig cfg;
+  cfg.cluster.workers = 2;
+  cfg.cluster.worker_node.gpu_count = 2;
+  cfg.cluster.worker_node.device.memory = 8_MiB;
+  cfg.cluster.worker_node.tuning.page_size = 1_MiB;
+  Context ctx = Context::grout(std::move(cfg));
+  const std::string out = run(ctx, R"PY(
+import polyglot
+build = polyglot.eval(GrOUT, "buildkernel")
+scale = build("__global__ void s(float* x, int n) { int i = blockIdx.x * blockDim.x + threadIdx.x; if (i < n) { x[i] = x[i] * 3.0; } }")
+a = polyglot.eval(GrOUT, "float[32]")
+b = polyglot.eval(GrOUT, "float[32]")
+for i in range(32):
+  a[i] = i
+  b[i] = i + 100
+scale(1, 32)(a, 32)
+scale(1, 32)(b, 32)
+sync()
+print(a[2], b[2])
+)PY");
+  EXPECT_EQ(out, "6 306\n");
+  // Two CEs spread over the two workers by the default vector-step policy.
+  auto& backend = dynamic_cast<polyglot::GroutBackend&>(ctx.backend());
+  EXPECT_EQ(backend.grout().metrics().assignments[0], 1u);
+  EXPECT_EQ(backend.grout().metrics().assignments[1], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Script, SyntaxErrorsMentionLine) {
+  try {
+    run("x = 1\ny = = 2\n");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Script, UndefinedNameThrows) {
+  EXPECT_THROW(run("print(ghost)"), InvalidArgument);
+}
+
+TEST(Script, BadIndentationThrows) {
+  EXPECT_THROW(run("for i in range(2):\nprint(i)"), ParseError);         // no indent
+  EXPECT_THROW(run("x = 1\n   y = 2\n  z = 3\n"), ParseError);           // inconsistent
+}
+
+TEST(Script, UnterminatedStringThrows) {
+  EXPECT_THROW(run("s = \"oops\n"), ParseError);
+  EXPECT_THROW(run("s = \"\"\"oops\n"), ParseError);
+}
+
+TEST(Script, OnlyRangeLoopsSupported) {
+  EXPECT_THROW(run("for i in items:\n  print(i)\n"), ParseError);
+}
+
+TEST(Script, AssignmentTargetValidated) {
+  EXPECT_THROW(run("1 = 2"), ParseError);
+  EXPECT_THROW(run("f() = 2"), ParseError);
+}
+
+TEST(Script, StatementCountReturned) {
+  Context ctx = small_ctx();
+  std::ostringstream out;
+  // 1 assign + loop stmt (counted once per iteration) + print.
+  const std::size_t n = run_script(ctx, "x = 1\nfor i in range(3):\n  x = x + 1\nprint(x)",
+                                   out);
+  EXPECT_EQ(out.str(), "4\n");
+  EXPECT_GE(n, 5u);
+}
+
+}  // namespace
+}  // namespace grout::script

@@ -1,0 +1,282 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace grout::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_us(30.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_us(10.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_us(20.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::from_us(30.0));
+}
+
+TEST(Simulator, SameTimestampFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::from_us(5.0);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_us(10.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::from_us(5.0), [] {}), InvalidArgument);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(SimTime::from_us(1.0), nullptr), InvalidArgument);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(1.0), [&] {
+    ++fired;
+    sim.schedule_after(SimTime::from_us(1.0), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_us(2.0));
+}
+
+TEST(Simulator, StepReturnsFalseOnEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(SimTime::from_us(1.0), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(1.0), [&] { ++fired; });
+  sim.schedule_at(SimTime::from_us(100.0), [&] { ++fired; });
+  EXPECT_FALSE(sim.run_until(SimTime::from_us(50.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.run_until(SimTime::from_us(1000.0)));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveOfDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(50.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(SimTime::from_us(50.0)));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(SimTime::from_us(i + 1.0), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, ClockIsMonotone) {
+  Simulator sim;
+  SimTime last = SimTime::zero();
+  bool monotone = true;
+  for (int i = 20; i > 0; --i) {
+    sim.schedule_at(SimTime::from_us(i), [&, i] {
+      (void)i;
+      monotone = monotone && sim.now() >= last;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Simulator, RandomScheduleIsDeterministic) {
+  // Two simulators fed the same pseudo-random schedule must execute events
+  // in the identical order (ties broken by submission sequence).
+  const auto run_once = [](std::vector<int>& order) {
+    Simulator sim;
+    grout::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+      sim.schedule_at(SimTime::from_ns(static_cast<std::int64_t>(rng.next_below(50))),
+                      [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+  };
+  std::vector<int> a;
+  std::vector<int> b;
+  run_once(a);
+  run_once(b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 500u);
+}
+
+TEST(Simulator, CascadingEventsStress) {
+  // Events that re-schedule follow-ups at random offsets; the clock must
+  // stay monotone throughout and the cascade must terminate.
+  Simulator sim;
+  grout::Rng rng(7);
+  int remaining = 2000;
+  SimTime last = SimTime::zero();
+  bool monotone = true;
+  std::function<void()> tick = [&] {
+    monotone = monotone && sim.now() >= last;
+    last = sim.now();
+    if (--remaining > 0) {
+      sim.schedule_after(SimTime::from_ns(static_cast<std::int64_t>(rng.next_below(10))),
+                         tick);
+    }
+  };
+  sim.schedule_at(SimTime::zero(), tick);
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(sim.executed_events(), 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
+
+TEST(Resource, SingleTransferTiming) {
+  Simulator sim;
+  Resource r(sim, "link", Bandwidth::bytes_per_sec(1e6), SimTime::from_us(10.0));
+  const SimTime done = r.submit(Bytes{1000000});  // 1 second at 1 MB/s
+  EXPECT_EQ(done, SimTime::from_seconds(1.0) + SimTime::from_us(10.0));
+}
+
+TEST(Resource, FifoQueueing) {
+  Simulator sim;
+  Resource r(sim, "link", Bandwidth::bytes_per_sec(1e6), SimTime::zero());
+  const SimTime first = r.submit(Bytes{500000});   // 0.5 s
+  const SimTime second = r.submit(Bytes{500000});  // queues behind
+  EXPECT_DOUBLE_EQ(first.seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(second.seconds(), 1.0);
+}
+
+TEST(Resource, CompletionCallbackFiresAtCompletionTime) {
+  Simulator sim;
+  Resource r(sim, "link", Bandwidth::bytes_per_sec(1e6), SimTime::zero());
+  SimTime fired = SimTime::zero();
+  r.submit(Bytes{1000000}, [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired.seconds(), 1.0);
+}
+
+TEST(Resource, IdleGapsDoNotAccumulate) {
+  Simulator sim;
+  Resource r(sim, "link", Bandwidth::bytes_per_sec(1e6), SimTime::zero());
+  r.submit(Bytes{100000});  // busy until 0.1 s
+  // Advance virtual time past the busy period.
+  sim.schedule_at(SimTime::from_seconds(5.0), [] {});
+  sim.run();
+  const SimTime done = r.submit(Bytes{100000});
+  EXPECT_DOUBLE_EQ(done.seconds(), 5.1);  // starts now, not at 0.1 s
+}
+
+TEST(Resource, StatsAccounting) {
+  Simulator sim;
+  Resource r(sim, "link", Bandwidth::bytes_per_sec(1e6), SimTime::zero());
+  r.submit(Bytes{1000});
+  r.submit(Bytes{2000});
+  EXPECT_EQ(r.bytes_moved(), 3000u);
+  EXPECT_EQ(r.requests(), 2u);
+  EXPECT_DOUBLE_EQ(r.busy_time().seconds(), 0.003);
+}
+
+TEST(Resource, SubmitDurationOccupies) {
+  Simulator sim;
+  Resource r(sim, "x", Bandwidth::bytes_per_sec(1.0), SimTime::zero());
+  const SimTime a = r.submit_duration(SimTime::from_us(100.0));
+  const SimTime b = r.submit_duration(SimTime::from_us(50.0));
+  EXPECT_EQ(a, SimTime::from_us(100.0));
+  EXPECT_EQ(b, SimTime::from_us(150.0));
+  EXPECT_EQ(r.available_at(), SimTime::from_us(150.0));
+}
+
+TEST(Resource, RequiresPositiveBandwidth) {
+  Simulator sim;
+  EXPECT_THROW(Resource(sim, "bad", Bandwidth(), SimTime::zero()), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer t;
+  t.record(TraceCategory::Kernel, "k", "gpu0", SimTime::zero(), SimTime::from_us(1.0));
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TracerTest, RecordsWhenEnabled) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(TraceCategory::Kernel, "k", "gpu0", SimTime::zero(), SimTime::from_us(1.0));
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_EQ(t.spans()[0].name, "k");
+  EXPECT_EQ(t.spans()[0].location, "gpu0");
+}
+
+TEST(TracerTest, RejectsNegativeSpans) {
+  Tracer t;
+  t.set_enabled(true);
+  EXPECT_THROW(
+      t.record(TraceCategory::Kernel, "k", "g", SimTime::from_us(2.0), SimTime::from_us(1.0)),
+      InvalidArgument);
+}
+
+TEST(TracerTest, TotalsByCategory) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(TraceCategory::Kernel, "a", "g", SimTime::zero(), SimTime::from_us(5.0));
+  t.record(TraceCategory::Kernel, "b", "g", SimTime::from_us(5.0), SimTime::from_us(7.0));
+  t.record(TraceCategory::Migration, "m", "g", SimTime::zero(), SimTime::from_us(3.0));
+  const auto totals = t.totals_by_category();
+  EXPECT_EQ(totals.at(TraceCategory::Kernel), SimTime::from_us(7.0));
+  EXPECT_EQ(totals.at(TraceCategory::Migration), SimTime::from_us(3.0));
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+  Tracer t;
+  t.set_enabled(true);
+  t.record(TraceCategory::NetworkTransfer, "xfer", "n0->n1", SimTime::zero(),
+           SimTime::from_us(2.0));
+  const std::string json = t.to_chrome_json();
+  EXPECT_NE(json.find("\"name\": \"xfer\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"network\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TracerTest, CategoryNames) {
+  EXPECT_STREQ(to_string(TraceCategory::Kernel), "kernel");
+  EXPECT_STREQ(to_string(TraceCategory::Eviction), "eviction");
+  EXPECT_STREQ(to_string(TraceCategory::Scheduling), "scheduling");
+}
+
+}  // namespace
+}  // namespace grout::sim
