@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_exploration.dir/abl_exploration.cpp.o"
+  "CMakeFiles/abl_exploration.dir/abl_exploration.cpp.o.d"
+  "abl_exploration"
+  "abl_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_irregular.cpp" "bench/CMakeFiles/abl_irregular.dir/abl_irregular.cpp.o" "gcc" "bench/CMakeFiles/abl_irregular.dir/abl_irregular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/grout_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/polyglot/CMakeFiles/grout_polyglot.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/grout_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/grout_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/grout_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/grout_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/grout_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grout_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/grout_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/grout_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grout_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

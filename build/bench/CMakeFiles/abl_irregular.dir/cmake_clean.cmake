@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_irregular.dir/abl_irregular.cpp.o"
+  "CMakeFiles/abl_irregular.dir/abl_irregular.cpp.o.d"
+  "abl_irregular"
+  "abl_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prefetch_advise.dir/abl_prefetch_advise.cpp.o"
+  "CMakeFiles/abl_prefetch_advise.dir/abl_prefetch_advise.cpp.o.d"
+  "abl_prefetch_advise"
+  "abl_prefetch_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prefetch_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scaleup_scaleout.dir/abl_scaleup_scaleout.cpp.o"
+  "CMakeFiles/abl_scaleup_scaleout.dir/abl_scaleup_scaleout.cpp.o.d"
+  "abl_scaleup_scaleout"
+  "abl_scaleup_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scaleup_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

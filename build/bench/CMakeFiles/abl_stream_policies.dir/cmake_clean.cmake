@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stream_policies.dir/abl_stream_policies.cpp.o"
+  "CMakeFiles/abl_stream_policies.dir/abl_stream_policies.cpp.o.d"
+  "abl_stream_policies"
+  "abl_stream_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stream_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

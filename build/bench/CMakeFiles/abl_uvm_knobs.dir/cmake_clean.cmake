@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_uvm_knobs.dir/abl_uvm_knobs.cpp.o"
+  "CMakeFiles/abl_uvm_knobs.dir/abl_uvm_knobs.cpp.o.d"
+  "abl_uvm_knobs"
+  "abl_uvm_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_uvm_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

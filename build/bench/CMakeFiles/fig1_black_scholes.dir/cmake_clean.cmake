@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_black_scholes.dir/fig1_black_scholes.cpp.o"
+  "CMakeFiles/fig1_black_scholes.dir/fig1_black_scholes.cpp.o.d"
+  "fig1_black_scholes"
+  "fig1_black_scholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_black_scholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_single_node.dir/fig6a_single_node.cpp.o"
+  "CMakeFiles/fig6a_single_node.dir/fig6a_single_node.cpp.o.d"
+  "fig6a_single_node"
+  "fig6a_single_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

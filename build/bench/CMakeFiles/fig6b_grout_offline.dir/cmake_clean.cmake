@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_grout_offline.dir/fig6b_grout_offline.cpp.o"
+  "CMakeFiles/fig6b_grout_offline.dir/fig6b_grout_offline.cpp.o.d"
+  "fig6b_grout_offline"
+  "fig6b_grout_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_grout_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

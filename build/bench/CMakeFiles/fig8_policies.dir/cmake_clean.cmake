@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_policies.dir/fig8_policies.cpp.o"
+  "CMakeFiles/fig8_policies.dir/fig8_policies.cpp.o.d"
+  "fig8_policies"
+  "fig8_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/black_scholes.dir/black_scholes.cpp.o"
+  "CMakeFiles/black_scholes.dir/black_scholes.cpp.o.d"
+  "black_scholes"
+  "black_scholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/black_scholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

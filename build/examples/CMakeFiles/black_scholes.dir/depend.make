@@ -1,0 +1,2 @@
+# Empty dependencies file for black_scholes.
+# This may be replaced when dependencies are built.

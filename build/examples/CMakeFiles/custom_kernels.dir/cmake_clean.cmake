@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernels.dir/custom_kernels.cpp.o"
+  "CMakeFiles/custom_kernels.dir/custom_kernels.cpp.o.d"
+  "custom_kernels"
+  "custom_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

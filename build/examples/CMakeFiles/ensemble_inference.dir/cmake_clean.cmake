@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_inference.dir/ensemble_inference.cpp.o"
+  "CMakeFiles/ensemble_inference.dir/ensemble_inference.cpp.o.d"
+  "ensemble_inference"
+  "ensemble_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

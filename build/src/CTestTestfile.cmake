@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("uvm")
+subdirs("gpusim")
+subdirs("dag")
+subdirs("driver")
+subdirs("net")
+subdirs("cluster")
+subdirs("runtime")
+subdirs("core")
+subdirs("polyglot")
+subdirs("workloads")
+subdirs("script")
+subdirs("report")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/grout_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/grout_cluster.dir/worker.cpp.o"
+  "CMakeFiles/grout_cluster.dir/worker.cpp.o.d"
+  "libgrout_cluster.a"
+  "libgrout_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_common.dir/error.cpp.o"
+  "CMakeFiles/grout_common.dir/error.cpp.o.d"
+  "CMakeFiles/grout_common.dir/log.cpp.o"
+  "CMakeFiles/grout_common.dir/log.cpp.o.d"
+  "CMakeFiles/grout_common.dir/rng.cpp.o"
+  "CMakeFiles/grout_common.dir/rng.cpp.o.d"
+  "CMakeFiles/grout_common.dir/strings.cpp.o"
+  "CMakeFiles/grout_common.dir/strings.cpp.o.d"
+  "CMakeFiles/grout_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/grout_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/grout_common.dir/units.cpp.o"
+  "CMakeFiles/grout_common.dir/units.cpp.o.d"
+  "libgrout_common.a"
+  "libgrout_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_core.dir/grout_runtime.cpp.o"
+  "CMakeFiles/grout_core.dir/grout_runtime.cpp.o.d"
+  "CMakeFiles/grout_core.dir/policies.cpp.o"
+  "CMakeFiles/grout_core.dir/policies.cpp.o.d"
+  "libgrout_core.a"
+  "libgrout_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrout_core.a"
+)

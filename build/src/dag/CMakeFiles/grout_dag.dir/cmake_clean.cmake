@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_dag.dir/dependency_dag.cpp.o"
+  "CMakeFiles/grout_dag.dir/dependency_dag.cpp.o.d"
+  "libgrout_dag.a"
+  "libgrout_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/driver.cpp" "src/driver/CMakeFiles/grout_driver.dir/driver.cpp.o" "gcc" "src/driver/CMakeFiles/grout_driver.dir/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/grout_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/grout_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/grout_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

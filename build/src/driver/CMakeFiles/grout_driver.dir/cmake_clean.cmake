@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_driver.dir/driver.cpp.o"
+  "CMakeFiles/grout_driver.dir/driver.cpp.o.d"
+  "libgrout_driver.a"
+  "libgrout_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_gpusim.dir/gpu.cpp.o"
+  "CMakeFiles/grout_gpusim.dir/gpu.cpp.o.d"
+  "CMakeFiles/grout_gpusim.dir/gpu_node.cpp.o"
+  "CMakeFiles/grout_gpusim.dir/gpu_node.cpp.o.d"
+  "libgrout_gpusim.a"
+  "libgrout_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_net.dir/fabric.cpp.o"
+  "CMakeFiles/grout_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/grout_net.dir/message.cpp.o"
+  "CMakeFiles/grout_net.dir/message.cpp.o.d"
+  "libgrout_net.a"
+  "libgrout_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_polyglot.dir/backend.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/backend.cpp.o.d"
+  "CMakeFiles/grout_polyglot.dir/compiled_kernel.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/compiled_kernel.cpp.o.d"
+  "CMakeFiles/grout_polyglot.dir/context.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/context.cpp.o.d"
+  "CMakeFiles/grout_polyglot.dir/interpreter.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/interpreter.cpp.o.d"
+  "CMakeFiles/grout_polyglot.dir/kernel_lang.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/kernel_lang.cpp.o.d"
+  "CMakeFiles/grout_polyglot.dir/signature.cpp.o"
+  "CMakeFiles/grout_polyglot.dir/signature.cpp.o.d"
+  "libgrout_polyglot.a"
+  "libgrout_polyglot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_polyglot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_report.dir/table.cpp.o"
+  "CMakeFiles/grout_report.dir/table.cpp.o.d"
+  "libgrout_report.a"
+  "libgrout_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

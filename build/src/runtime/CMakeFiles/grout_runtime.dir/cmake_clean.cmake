@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_runtime.dir/intra_node_runtime.cpp.o"
+  "CMakeFiles/grout_runtime.dir/intra_node_runtime.cpp.o.d"
+  "libgrout_runtime.a"
+  "libgrout_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

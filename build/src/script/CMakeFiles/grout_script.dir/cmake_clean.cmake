@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_script.dir/script.cpp.o"
+  "CMakeFiles/grout_script.dir/script.cpp.o.d"
+  "libgrout_script.a"
+  "libgrout_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_sim.dir/simulator.cpp.o"
+  "CMakeFiles/grout_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/grout_sim.dir/trace.cpp.o"
+  "CMakeFiles/grout_sim.dir/trace.cpp.o.d"
+  "libgrout_sim.a"
+  "libgrout_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_uvm.dir/uvm_space.cpp.o"
+  "CMakeFiles/grout_uvm.dir/uvm_space.cpp.o.d"
+  "libgrout_uvm.a"
+  "libgrout_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

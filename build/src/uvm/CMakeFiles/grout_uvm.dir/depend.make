@@ -1,0 +1,2 @@
+# Empty dependencies file for grout_uvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/grout_workloads.dir/workloads.cpp.o.d"
+  "libgrout_workloads.a"
+  "libgrout_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

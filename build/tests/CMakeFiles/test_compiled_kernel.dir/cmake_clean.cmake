@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_kernel.dir/test_compiled_kernel.cpp.o"
+  "CMakeFiles/test_compiled_kernel.dir/test_compiled_kernel.cpp.o.d"
+  "test_compiled_kernel"
+  "test_compiled_kernel.pdb"
+  "test_compiled_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

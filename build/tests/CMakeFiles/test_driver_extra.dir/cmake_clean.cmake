@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_extra.dir/test_driver_extra.cpp.o"
+  "CMakeFiles/test_driver_extra.dir/test_driver_extra.cpp.o.d"
+  "test_driver_extra"
+  "test_driver_extra.pdb"
+  "test_driver_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grout_scenarios.dir/test_grout_scenarios.cpp.o"
+  "CMakeFiles/test_grout_scenarios.dir/test_grout_scenarios.cpp.o.d"
+  "test_grout_scenarios"
+  "test_grout_scenarios.pdb"
+  "test_grout_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grout_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

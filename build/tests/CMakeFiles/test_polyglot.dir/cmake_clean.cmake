@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyglot.dir/test_polyglot.cpp.o"
+  "CMakeFiles/test_polyglot.dir/test_polyglot.cpp.o.d"
+  "test_polyglot"
+  "test_polyglot.pdb"
+  "test_polyglot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyglot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm_extra.dir/test_uvm_extra.cpp.o"
+  "CMakeFiles/test_uvm_extra.dir/test_uvm_extra.cpp.o.d"
+  "test_uvm_extra"
+  "test_uvm_extra.pdb"
+  "test_uvm_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

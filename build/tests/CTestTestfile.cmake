@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_uvm[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_polyglot[1]_include.cmake")
+include("/root/repo/build/tests/test_compiled_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_uvm_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_lang_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_grout_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_script[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grout_cli.dir/grout_cli.cpp.o"
+  "CMakeFiles/grout_cli.dir/grout_cli.cpp.o.d"
+  "grout_cli"
+  "grout_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grout_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/grout_cli" "info")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_small "/root/repo/build/tools/grout_cli" "run" "--workload" "cg" "--size-gib" "1" "--backend" "both")
+set_tests_properties(cli_run_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_policies_small "/root/repo/build/tools/grout_cli" "policies" "--workload" "mle" "--size-gib" "2")
+set_tests_properties(cli_policies_small PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dag "/root/repo/build/tools/grout_cli" "dag" "--workload" "mle" "--partitions" "2")
+set_tests_properties(cli_dag PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_listing1 "/root/repo/build/tools/grout_cli" "script" "/root/repo/examples/scripts/listing1.py")
+set_tests_properties(cli_script_listing1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_saxpy "/root/repo/build/tools/grout_cli" "script" "/root/repo/examples/scripts/saxpy_distributed.py")
+set_tests_properties(cli_script_saxpy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_reduction "/root/repo/build/tools/grout_cli" "script" "/root/repo/examples/scripts/reduction.py")
+set_tests_properties(cli_script_reduction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
