@@ -41,11 +41,14 @@ class Cluster {
   [[nodiscard]] Worker& worker(std::size_t i);
   [[nodiscard]] const Worker& worker(std::size_t i) const;
 
-  /// Fabric id of the controller endpoint (always 0).
-  [[nodiscard]] static constexpr net::NodeId controller_id() { return 0; }
+  /// Fabric id of the controller endpoint (delegates to net/topology.hpp,
+  /// the single source of truth for the node layout).
+  [[nodiscard]] static constexpr net::NodeId controller_id() {
+    return net::controller_node_id();
+  }
   /// Fabric id of worker `i`.
-  [[nodiscard]] static net::NodeId worker_fabric_id(std::size_t i) {
-    return static_cast<net::NodeId>(i + 1);
+  [[nodiscard]] static constexpr net::NodeId worker_fabric_id(std::size_t i) {
+    return net::worker_node_id(i);
   }
 
   [[nodiscard]] const ClusterConfig& config() const { return config_; }

@@ -1,5 +1,6 @@
 #include "core/grout_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "net/message.hpp"
@@ -24,6 +25,17 @@ GroutRuntime::GroutRuntime(GroutConfig config)
     policy_ = make_policy(config_.policy, config_.step_vector, config_.exploration);
   }
   metrics_.assignments.assign(config_.cluster.workers, 0);
+  metrics_.inflight.assign(config_.cluster.workers, 0);
+  alive_.assign(config_.cluster.workers, true);
+  cluster_->fabric().set_control_retry(config_.control_retry);
+  if (!config_.fault_plan.empty()) {
+    for (const net::KillWorkerFault& k : config_.fault_plan.kills) {
+      GROUT_REQUIRE(k.worker < config_.cluster.workers, "fault plan kills an unknown worker");
+    }
+    injector_ = std::make_unique<net::FaultInjector>(cluster_->simulator(), cluster_->fabric(),
+                                                     config_.fault_plan);
+    injector_->arm([this](std::size_t w) { handle_worker_death(w); });
+  }
 }
 
 GlobalArrayId GroutRuntime::alloc(Bytes bytes, std::string name) {
@@ -51,9 +63,7 @@ void GroutRuntime::advise(GlobalArrayId array, uvm::Advise advise) {
 }
 
 CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
-  const auto t0 = WallClock::now();
-
-  // 1. Global DAG insertion (frontier scan + redundant-edge filtering).
+  // Global DAG insertion (frontier scan + redundant-edge filtering).
   std::vector<dag::AccessSummary> accesses;
   accesses.reserve(spec.params.size());
   for (const auto& p : spec.params) {
@@ -61,7 +71,26 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
   }
   const dag::VertexId v = global_dag_.add(spec.name, std::move(accesses));
 
-  // 2. Node-level policy decision.
+  // Record the CE so a fault can re-dispatch it; `done` is the logical
+  // completion event and fires exactly once, however many attempts it takes.
+  CeRecord rec;
+  rec.spec = std::move(spec);
+  rec.done = gpusim::make_event();
+  records_.emplace(v, std::move(rec));
+  pending_.push_back(records_.at(v).done);
+
+  dispatch(v);
+
+  const CeRecord& r = records_.at(v);
+  return CeTicket{v, r.worker, r.done};
+}
+
+void GroutRuntime::dispatch(dag::VertexId v) {
+  const auto t0 = WallClock::now();
+  CeRecord& rec = records_.at(v);
+  const gpusim::KernelLaunchSpec& spec = rec.spec;
+
+  // 1. Node-level policy decision (only live workers are eligible).
   std::vector<PlacementParam> params;
   params.reserve(spec.params.size());
   for (const auto& p : spec.params) {
@@ -74,11 +103,13 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
   query.directory = &directory_;
   query.fabric = &cluster_->fabric();
   query.workers = cluster_->worker_count();
-  query.outstanding = &metrics_.assignments;
+  query.outstanding = &metrics_.inflight;
+  query.alive = &alive_;
   const std::size_t w = policy_->assign(query);
-  GROUT_CHECK(w < cluster_->worker_count(), "policy returned an invalid worker");
+  GROUT_CHECK(w < cluster_->worker_count() && alive_[w],
+              "policy returned an invalid or dead worker");
 
-  // 3. Data movements implied by the placement (Algorithm 1, last loop).
+  // 2. Data movements implied by the placement (Algorithm 1, last loop).
   cluster::Worker& worker = cluster_->worker(w);
   for (const auto& p : spec.params) {
     const auto id = static_cast<GlobalArrayId>(p.array);
@@ -92,6 +123,13 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
   }
   for (const PlacementParam& p : params) {
     if (!p.needs_data) continue;
+    if (!directory_.holders(p.array).any()) {
+      // Every copy died with its worker; rebuild one from DAG lineage
+      // before planning the inbound transfer.
+      GROUT_CHECK(config_.lineage_recovery,
+                  "input array has no up-to-date copy and lineage recovery is disabled");
+      recover_array(p.array);
+    }
     if (gpusim::EventPtr arrival = plan_movement(p, w)) {
       // The arrival CE is already ordered inside the worker's Local DAG;
       // nothing else to wire here.
@@ -99,29 +137,126 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
     }
   }
 
-  // 4. Marshal the CE and send it to the worker over the control lane; the
-  //    worker-side execution is gated on the message's arrival.
+  // 3. Marshal the CE and send it to the worker over the control lane; the
+  //    worker-side execution is gated on the message's arrival. The control
+  //    lane retries dropped attempts with exponential backoff.
   std::vector<std::byte> wire;
   const Bytes message_bytes = net::encode_ce(spec, wire);
   gpusim::EventPtr ce_arrival = cluster_->fabric().send_control(
       cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), message_bytes);
+
+  rec.worker = w;
+  const std::uint32_t attempt = ++rec.attempt;
 
   const auto t1 = WallClock::now();
   metrics_.decision_ns.add(
       static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
   ++metrics_.ces_scheduled;
   ++metrics_.assignments[w];
+  ++metrics_.inflight[w];
 
-  // 5. Forward the CE to the Worker's intra-node runtime (Algorithm 2).
+  // 4. Forward the CE to the Worker's intra-node runtime (Algorithm 2). The
+  //    directory is updated eagerly so later CEs see this placement.
   for (const auto& p : spec.params) {
     if (uvm::writes(p.mode)) {
       directory_.written_on_worker(static_cast<GlobalArrayId>(p.array), w);
     }
   }
-  runtime::Submission sub = worker.execute_kernel(std::move(spec), std::move(ce_arrival));
-  sub.done->on_complete([this, v] { global_dag_.mark_done(v); });
+  runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
+  sub.done->on_complete([this, v, attempt] { on_ce_complete(v, attempt); });
   pending_.push_back(sub.done);
-  return CeTicket{v, w, std::move(sub.done)};
+}
+
+void GroutRuntime::on_ce_complete(dag::VertexId v, std::uint32_t attempt) {
+  CeRecord& rec = records_.at(v);
+  // A completion from a superseded attempt (the worker died and the CE was
+  // re-dispatched) carries a stale attempt number: ignore it.
+  if (rec.completed || attempt != rec.attempt) return;
+  rec.completed = true;
+  GROUT_CHECK(metrics_.inflight[rec.worker] > 0, "in-flight counter underflow");
+  --metrics_.inflight[rec.worker];
+  global_dag_.mark_done(v);
+  rec.done->complete(cluster_->simulator().now());
+}
+
+void GroutRuntime::handle_worker_death(std::size_t w) {
+  GROUT_REQUIRE(w < alive_.size(), "worker index out of range");
+  if (!alive_[w]) return;
+  alive_[w] = false;
+  ++metrics_.worker_deaths;
+
+  // Forget every copy the dead worker held; arrays left holderless need a
+  // rebuilt copy before anyone can read them again.
+  const std::vector<GlobalArrayId> orphaned = directory_.drop_worker(w);
+  if (!config_.lineage_recovery) return;  // leave the orphans lost (baseline)
+
+  for (const GlobalArrayId id : orphaned) recover_array(id);
+
+  // CEs dispatched to the dead worker that never completed: reschedule
+  // through the active policy, oldest first so producers precede consumers.
+  // (recover_array may already have moved some of them.)
+  std::vector<dag::VertexId> stranded;
+  for (const auto& [vertex, rec] : records_) {
+    if (rec.worker == w && !rec.completed) stranded.push_back(vertex);
+  }
+  std::sort(stranded.begin(), stranded.end());
+  for (const dag::VertexId v : stranded) {
+    const CeRecord& rec = records_.at(v);
+    if (rec.worker != w || rec.completed) continue;
+    GROUT_CHECK(metrics_.inflight[w] > 0, "in-flight counter underflow");
+    --metrics_.inflight[w];
+    ++metrics_.ces_rescheduled;
+    dispatch(v);
+  }
+}
+
+void GroutRuntime::recover_array(GlobalArrayId id) {
+  if (directory_.holders(id).any()) return;
+  GROUT_CHECK(recovering_.insert(id).second,
+              "array is unrecoverable: its producer consumes the lost copy");
+  const dag::VertexId v = global_dag_.last_writer_of(id);
+  GROUT_CHECK(v != dag::kNoVertex, "lost array has no lineage to replay");
+  const auto it = records_.find(v);
+  if (it == records_.end()) {
+    // The last writer was controller-side host code (host_init): the
+    // controller still has the program that produced it.
+    directory_.add_controller_copy(id);
+  } else if (!it->second.completed) {
+    // The producer was still in flight on the dead node; re-dispatching it
+    // re-establishes ownership (eager directory update) and re-runs it.
+    GROUT_CHECK(metrics_.inflight[it->second.worker] > 0, "in-flight counter underflow");
+    --metrics_.inflight[it->second.worker];
+    ++metrics_.ces_rescheduled;
+    dispatch(v);
+  } else {
+    // Completed producer: replay it as a fresh CE on a survivor
+    // (Spark-RDD-style lineage recovery; its own lost inputs recover
+    // recursively through dispatch).
+    replay_vertex(v);
+  }
+  ++metrics_.arrays_recovered;
+  recovering_.erase(id);
+  GROUT_CHECK(directory_.holders(id).any(), "lineage recovery failed to restore a holder");
+}
+
+void GroutRuntime::replay_vertex(dag::VertexId v) {
+  gpusim::KernelLaunchSpec spec = records_.at(v).spec;
+  spec.name = "replay:" + spec.name;
+  std::vector<dag::AccessSummary> accesses;
+  accesses.reserve(spec.params.size());
+  for (const auto& p : spec.params) {
+    accesses.push_back(dag::AccessSummary{p.array, uvm::writes(p.mode)});
+  }
+  // The replay is a new Global-DAG vertex, so later recoveries can trace
+  // lineage through it like any other CE.
+  const dag::VertexId rv = global_dag_.add(spec.name, std::move(accesses));
+  CeRecord rec;
+  rec.spec = std::move(spec);
+  rec.done = gpusim::make_event();
+  records_.emplace(rv, std::move(rec));
+  pending_.push_back(records_.at(rv).done);
+  ++metrics_.ces_replayed;
+  dispatch(rv);
 }
 
 gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::size_t worker) {
@@ -133,28 +268,36 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   const LocationSet& holders = directory_.holders(id);
 
   gpusim::EventPtr transfer_done;
-  if (directory_.only_on_controller(id) || holders.controller()) {
-    // Controller holds a current copy: direct send (Algorithm 1's
-    // scheduledNode.send(param) branch).
+  if (holders.controller() &&
+      cluster_->fabric().bandwidth(cluster::Cluster::controller_id(), dst_fid).valid()) {
+    // Controller holds a current copy and the route is up: direct send
+    // (Algorithm 1's scheduledNode.send(param) branch).
     transfer_done = cluster_->fabric().transfer(cluster::Cluster::controller_id(), dst_fid,
                                                 param.bytes,
                                                 "ctl->" + std::to_string(worker) + ":" +
                                                     directory_.name_of(id));
     ++metrics_.controller_sends;
   } else {
-    // P2P branch: pick the up-to-date worker with the fastest route.
+    // P2P branch: pick the up-to-date worker with the fastest *live* route.
+    // A zero-bandwidth (degraded/down) link disqualifies a source — it must
+    // never be silently picked as a fallback.
     const std::vector<std::size_t> sources = holders.worker_holders();
-    GROUT_CHECK(!sources.empty(), "no source for a required parameter");
-    std::size_t best = sources.front();
+    GROUT_CHECK(holders.any(), "no source for a required parameter");
+    std::size_t best = 0;
     double best_bps = 0.0;
+    bool found = false;
     for (const std::size_t s : sources) {
       const double bps =
           cluster_->fabric().bandwidth(cluster::Cluster::worker_fabric_id(s), dst_fid).bps();
       if (bps > best_bps) {
         best_bps = bps;
         best = s;
+        found = true;
       }
     }
+    GROUT_CHECK(found,
+                "required array unreachable: every route from an up-to-date holder "
+                "has zero bandwidth");
     // The source worker must gather the array to its host memory first
     // (its local DAG orders this after local writers).
     runtime::Submission staged = cluster_->worker(best).stage_send(id);
@@ -173,14 +316,23 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   return arrival.done;
 }
 
-void GroutRuntime::host_fetch(GlobalArrayId array) {
-  if (directory_.up_to_date_on_controller(array)) return;
+bool GroutRuntime::host_fetch(GlobalArrayId array) {
+  if (directory_.up_to_date_on_controller(array)) return true;
+  if (!directory_.holders(array).any()) {
+    // Every copy died with its worker(s): rebuild one from DAG lineage.
+    GROUT_CHECK(config_.lineage_recovery,
+                "no holder for array (and lineage recovery is disabled)");
+    recover_array(array);
+    if (directory_.up_to_date_on_controller(array)) return true;
+  }
   const LocationSet& holders = directory_.holders(array);
   const std::vector<std::size_t> sources = holders.worker_holders();
   GROUT_CHECK(!sources.empty(), "no holder for array");
-  // Fastest route to the controller.
-  std::size_t best = sources.front();
+  // Fastest live route to the controller; zero-bandwidth routes disqualify
+  // a source rather than being silently picked as sources.front().
+  std::size_t best = 0;
   double best_bps = 0.0;
+  bool found = false;
   for (const std::size_t s : sources) {
     const double bps = cluster_->fabric()
                            .bandwidth(cluster::Cluster::worker_fabric_id(s),
@@ -189,22 +341,42 @@ void GroutRuntime::host_fetch(GlobalArrayId array) {
     if (bps > best_bps) {
       best_bps = bps;
       best = s;
+      found = true;
     }
   }
+  GROUT_CHECK(found,
+              "array unreachable: every route from an up-to-date holder to the "
+              "controller has zero bandwidth");
   runtime::Submission staged = cluster_->worker(best).stage_send(array);
   gpusim::EventPtr landed = cluster_->fabric().transfer(
       cluster::Cluster::worker_fabric_id(best), cluster::Cluster::controller_id(),
       directory_.bytes_of(array), "fetch:" + directory_.name_of(array), staged.done);
 
+  // Drive the event loop, but never past the run cap: an unbounded wait
+  // here could spin a stalled run forever instead of reporting out-of-time.
   sim::Simulator& sim = cluster_->simulator();
   while (!landed->completed()) {
-    GROUT_CHECK(sim.step(), "deadlock while fetching an array to the controller");
+    GROUT_CHECK(sim.pending_events() > 0,
+                "deadlock while fetching an array to the controller");
+    if (sim.next_event_time() > config_.run_cap) return false;
+    sim.step();
   }
   directory_.add_controller_copy(array);
+  return true;
 }
 
 bool GroutRuntime::synchronize() {
   return cluster_->simulator().run_until(config_.run_cap);
+}
+
+SchedulerMetrics& GroutRuntime::metrics() {
+  // Mirror the fabric's control-lane reliability counters so callers see a
+  // single coherent metrics block.
+  const net::NetworkFabric& fabric = cluster_->fabric();
+  metrics_.control_retries = fabric.control_retries();
+  metrics_.control_timeouts = fabric.control_timeouts();
+  metrics_.control_drops = fabric.control_drops();
+  return metrics_;
 }
 
 uvm::UvmStats GroutRuntime::aggregated_uvm_stats() const {

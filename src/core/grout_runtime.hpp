@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -26,6 +27,7 @@
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "dag/dependency_dag.hpp"
+#include "net/fault.hpp"
 
 namespace grout::core {
 
@@ -39,6 +41,13 @@ struct GroutConfig {
   std::optional<double> exploration_threshold_override{};
   /// Per-run execution cap (the paper caps single runs at 2.5 hours).
   SimTime run_cap = SimTime::from_seconds(9000.0);
+  /// Deterministic fault schedule (empty = fault-free run).
+  net::FaultPlan fault_plan{};
+  /// Control-lane retry behaviour (timeout + exponential backoff).
+  net::ControlRetryConfig control_retry{};
+  /// Rebuild arrays whose only copy died by replaying their producer CEs
+  /// from the Global DAG. Disable to observe the unrecovered failure mode.
+  bool lineage_recovery{true};
 };
 
 /// Handle to a launched CE.
@@ -72,8 +81,11 @@ class GroutRuntime {
   CeTicket launch(gpusim::KernelLaunchSpec spec);
 
   /// Make the controller copy current (e.g. before printing results).
-  /// Blocks — advances virtual time — until the gather completes.
-  void host_fetch(GlobalArrayId array);
+  /// Blocks — advances virtual time — until the gather completes. Returns
+  /// false if the run cap (GroutConfig::run_cap) expired before the data
+  /// landed: the paper's out-of-time condition, reported instead of
+  /// spinning the event loop forever.
+  [[nodiscard]] bool host_fetch(GlobalArrayId array);
 
   /// Drain all outstanding work. Returns false if the run cap expired with
   /// work still pending (the paper's out-of-time condition).
@@ -86,17 +98,48 @@ class GroutRuntime {
   [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] const CoherenceDirectory& directory() const { return directory_; }
   [[nodiscard]] const dag::DependencyDag& global_dag() const { return global_dag_; }
-  [[nodiscard]] SchedulerMetrics& metrics() { return metrics_; }
+  /// Scheduler metrics; control-lane counters are synced from the fabric on
+  /// every call so callers always see current retry/timeout totals.
+  [[nodiscard]] SchedulerMetrics& metrics();
   [[nodiscard]] PolicyKind policy() const { return policy_->kind(); }
+  [[nodiscard]] bool worker_alive(std::size_t w) const {
+    GROUT_REQUIRE(w < alive_.size(), "worker index out of range");
+    return alive_[w];
+  }
 
   /// Aggregated UVM stats over all workers (storm counters etc.).
   [[nodiscard]] uvm::UvmStats aggregated_uvm_stats() const;
 
  private:
+  /// Bookkeeping for every CE the runtime has dispatched. `done` is the
+  /// *logical* completion event handed out in the CeTicket: it survives
+  /// rescheduling onto another worker after a fault. `attempt` guards
+  /// against completions arriving from a dead worker's stale dispatch.
+  struct CeRecord {
+    gpusim::KernelLaunchSpec spec;
+    std::size_t worker{0};
+    std::uint32_t attempt{0};
+    bool completed{false};
+    gpusim::EventPtr done;
+  };
+
   /// Plan and wire the transfers needed so `worker` holds `param` (Alg. 1,
   /// data-movement loop). Returns the arrival event, or nullptr if no
   /// movement was needed.
   gpusim::EventPtr plan_movement(const PlacementParam& param, std::size_t worker);
+
+  /// Place, stage data for, and send the recorded CE `v` to a live worker.
+  void dispatch(dag::VertexId v);
+  /// Completion callback from the worker-side submission of attempt
+  /// `attempt`; ignored when a newer attempt superseded it.
+  void on_ce_complete(dag::VertexId v, std::uint32_t attempt);
+  /// Fault-injector callback: worker `w` died at the current sim time.
+  void handle_worker_death(std::size_t w);
+  /// Rebuild an array with zero holders by replaying its last producer CE
+  /// (Spark-RDD-style lineage recovery over the Global DAG).
+  void recover_array(GlobalArrayId id);
+  /// Re-execute completed vertex `v` as a fresh DAG vertex on a survivor.
+  void replay_vertex(dag::VertexId v);
 
   GroutConfig config_;
   std::unique_ptr<cluster::Cluster> cluster_;
@@ -108,6 +151,14 @@ class GroutRuntime {
   std::vector<gpusim::EventPtr> pending_;
   /// Device-agnostic advises to apply to worker-local allocations.
   std::unordered_map<GlobalArrayId, uvm::Advise> advises_;
+  /// Dispatch records by Global-DAG vertex (reference-stable map).
+  std::unordered_map<dag::VertexId, CeRecord> records_;
+  /// Liveness per worker; policies consult this through PlacementQuery.
+  std::vector<bool> alive_;
+  /// Arrays whose recovery is on the call stack: re-entering for the same
+  /// array means its producer consumes the lost copy — unrecoverable.
+  std::unordered_set<GlobalArrayId> recovering_;
+  std::unique_ptr<net::FaultInjector> injector_;
 };
 
 }  // namespace grout::core

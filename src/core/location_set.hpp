@@ -26,6 +26,12 @@ class LocationSet {
     GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
     workers_[i] = true;
   }
+  /// Forget a worker's copy (e.g. the worker died). May leave the set
+  /// empty; the caller is responsible for restoring the holder invariant.
+  void remove_worker(std::size_t i) {
+    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+    workers_[i] = false;
+  }
 
   /// Exclusive ownership after a write.
   void reset_to_controller() {

@@ -16,13 +16,26 @@ namespace grout::core {
 struct SchedulerMetrics {
   /// Wall-clock nanoseconds per node-level scheduling decision.
   SampleSet decision_ns;
-  /// CE placements per worker.
+  /// CE placements per worker (cumulative, never decremented).
   std::vector<std::uint64_t> assignments;
+  /// CEs dispatched but not yet completed, per worker. This — not the
+  /// cumulative `assignments` — is what load-aware policies consult.
+  std::vector<std::uint64_t> inflight;
   /// Inbound transfers issued by the data-movement planner.
   std::uint64_t controller_sends{0};
   std::uint64_t p2p_sends{0};
   Bytes bytes_planned{0};
   std::uint64_t ces_scheduled{0};
+
+  // Fault-tolerance accounting (mirrors of the fabric's control-lane
+  // counters plus runtime-level recovery events).
+  std::uint64_t control_retries{0};
+  std::uint64_t control_timeouts{0};
+  std::uint64_t control_drops{0};
+  std::uint64_t worker_deaths{0};
+  std::uint64_t ces_replayed{0};
+  std::uint64_t ces_rescheduled{0};
+  std::uint64_t arrays_recovered{0};
 };
 
 }  // namespace grout::core

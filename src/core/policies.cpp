@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <limits>
 
+#include "net/topology.hpp"
+
 namespace grout::core {
+
+namespace {
+
+/// Number of workers in `q` that are eligible for placement.
+std::size_t alive_count(const PlacementQuery& q) {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < q.workers; ++w) {
+    if (placement_alive(q, w)) ++n;
+  }
+  return n;
+}
+
+/// Advance a round-robin cursor, skipping dead workers.
+std::size_t next_alive_rr(const PlacementQuery& q, std::size_t& cursor) {
+  for (std::size_t tried = 0; tried < q.workers; ++tried) {
+    const std::size_t node = cursor;
+    cursor = (cursor + 1) % q.workers;
+    if (placement_alive(q, node)) return node;
+  }
+  GROUT_CHECK(false, "no live worker to schedule on");
+  return 0;
+}
+
+}  // namespace
 
 const char* to_string(PolicyKind k) {
   switch (k) {
@@ -41,9 +67,7 @@ double exploration_threshold(ExplorationLevel e) {
 
 std::size_t RoundRobinPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
-  const std::size_t node = cursor_;
-  cursor_ = (cursor_ + 1) % q.workers;
-  return node;
+  return next_alive_rr(q, cursor_);
 }
 
 // ---------------------------------------------------------------------------
@@ -59,13 +83,24 @@ VectorStepPolicy::VectorStepPolicy(std::vector<std::uint32_t> steps) : steps_{st
 
 std::size_t VectorStepPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
-  const std::size_t node = node_cursor_ % q.workers;
-  if (++step_count_ >= steps_[step_index_]) {
+  // A dead node forfeits the remainder of its step budget: skip to the next
+  // vector entry and node until a live one comes up.
+  for (std::size_t skipped = 0; skipped <= q.workers; ++skipped) {
+    const std::size_t node = node_cursor_ % q.workers;
+    if (placement_alive(q, node)) {
+      if (++step_count_ >= steps_[step_index_]) {
+        step_count_ = 0;
+        step_index_ = (step_index_ + 1) % steps_.size();
+        ++node_cursor_;
+      }
+      return node;
+    }
     step_count_ = 0;
     step_index_ = (step_index_ + 1) % steps_.size();
     ++node_cursor_;
   }
-  return node;
+  GROUT_CHECK(false, "no live worker to schedule on");
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -94,17 +129,15 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
   }
 
   // Pure-output CEs carry no locality signal: explore.
-  if (total_input == 0) {
-    const std::size_t node = rr_cursor_;
-    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
-    return node;
-  }
+  if (total_input == 0) return next_alive_rr(q, rr_cursor_);
 
   double best_cost = std::numeric_limits<double>::infinity();
   std::size_t best_node = q.workers;  // sentinel: none viable yet
   for (std::size_t w = 0; w < q.workers; ++w) {
+    if (!placement_alive(q, w)) continue;
     Bytes available = 0;
     double cost = 0.0;
+    bool reachable = true;
     for (const PlacementParam& p : *q.params) {
       if (!p.needs_data) continue;
       const LocationSet& holders = q.directory->holders(p.array);
@@ -113,22 +146,29 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
         continue;
       }
       if (by_time_) {
-        // Best source: controller or the fastest P2P holder.
-        const net::NodeId dst = static_cast<net::NodeId>(w + 1);
+        // Best source: controller or the fastest P2P holder. Fabric ids
+        // come from net/topology.hpp — the one mapping the whole stack
+        // shares (Cluster::worker_fabric_id delegates to it too).
+        const net::NodeId dst = net::worker_node_id(w);
         double best_bps = 0.0;
         if (holders.controller()) {
-          best_bps = q.fabric->bandwidth(0, dst).bps();
+          best_bps = q.fabric->bandwidth(net::controller_node_id(), dst).bps();
         }
         for (const std::size_t src : holders.worker_holders()) {
-          best_bps = std::max(best_bps,
-                              q.fabric->bandwidth(static_cast<net::NodeId>(src + 1), dst).bps());
+          best_bps = std::max(best_bps, q.fabric->bandwidth(net::worker_node_id(src), dst).bps());
         }
-        GROUT_CHECK(best_bps > 0.0, "no route for a held array");
+        if (best_bps <= 0.0) {
+          // Every route to this candidate is down: it cannot stage the
+          // input, so it is not a viable exploitation target.
+          reachable = false;
+          break;
+        }
         cost += static_cast<double>(p.bytes) / best_bps;
       } else {
         cost += static_cast<double>(p.bytes);
       }
     }
+    if (!reachable) continue;
     // Exploration heuristic: only nodes already holding enough of the
     // inputs are viable for exploitation.
     const double avail_fraction =
@@ -142,9 +182,7 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
 
   if (best_node == q.workers) {
     // Nothing viable: fall back to round-robin (exploration).
-    const std::size_t node = rr_cursor_;
-    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
-    return node;
+    return next_alive_rr(q, rr_cursor_);
   }
   return best_node;
 }
@@ -155,19 +193,31 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
 
 std::size_t RandomPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
-  return rng_.next_below(q.workers);
+  // Rejection-sample to stay uniform over survivors; fall back to a linear
+  // scan when the live fraction is tiny.
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::size_t node = rng_.next_below(q.workers);
+    if (placement_alive(q, node)) return node;
+  }
+  const std::size_t start = rng_.next_below(q.workers);
+  for (std::size_t i = 0; i < q.workers; ++i) {
+    const std::size_t node = (start + i) % q.workers;
+    if (placement_alive(q, node)) return node;
+  }
+  GROUT_CHECK(false, "no live worker to schedule on");
+  return 0;
 }
 
 std::size_t LeastOutstandingPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
   if (q.outstanding == nullptr || q.outstanding->size() != q.workers) {
-    const std::size_t node = rr_cursor_;
-    rr_cursor_ = (rr_cursor_ + 1) % q.workers;
-    return node;
+    return next_alive_rr(q, rr_cursor_);
   }
-  std::size_t best = 0;
-  for (std::size_t w = 1; w < q.workers; ++w) {
-    if ((*q.outstanding)[w] < (*q.outstanding)[best]) best = w;
+  GROUT_CHECK(alive_count(q) > 0, "no live worker to schedule on");
+  std::size_t best = q.workers;
+  for (std::size_t w = 0; w < q.workers; ++w) {
+    if (!placement_alive(q, w)) continue;
+    if (best == q.workers || (*q.outstanding)[w] < (*q.outstanding)[best]) best = w;
   }
   return best;
 }

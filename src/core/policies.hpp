@@ -58,10 +58,18 @@ struct PlacementQuery {
   const CoherenceDirectory* directory{nullptr};
   const net::NetworkFabric* fabric{nullptr};  ///< may be null for static policies
   std::size_t workers{0};
-  /// CEs assigned so far per worker (null when the caller does not track
-  /// it); consumed by LeastOutstanding.
+  /// In-flight (dispatched, not yet completed) CEs per worker (null when the
+  /// caller does not track it); consumed by LeastOutstanding.
   const std::vector<std::uint64_t>* outstanding{nullptr};
+  /// Liveness per worker (null = everyone alive). Policies must never place
+  /// a CE on a dead worker.
+  const std::vector<bool>* alive{nullptr};
 };
+
+/// True when worker `w` is eligible for placement under `q`.
+inline bool placement_alive(const PlacementQuery& q, std::size_t w) {
+  return q.alive == nullptr || w >= q.alive->size() || (*q.alive)[w];
+}
 
 class InterNodePolicy {
  public:

@@ -57,6 +57,14 @@ class DependencyDag {
     return vertex_ref(v).ancestors;
   }
 
+  /// Last CE that wrote `array` (kNoVertex if no CE ever wrote it). Fault
+  /// recovery replays this producer to rebuild an array whose only
+  /// up-to-date copy died with a worker.
+  [[nodiscard]] VertexId last_writer_of(uvm::ArrayId array) const {
+    const auto it = per_array_.find(array);
+    return it == per_array_.end() ? kNoVertex : it->second.last_writer;
+  }
+
   /// Frontier: vertices still owning the last write of, or actively reading,
   /// at least one array. New CEs can only conflict with frontier members.
   [[nodiscard]] std::vector<VertexId> frontier() const;

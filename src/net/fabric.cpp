@@ -30,11 +30,13 @@ SimTime NetworkFabric::latency(NodeId from, NodeId to) const {
 }
 
 void NetworkFabric::set_link_override(NodeId a, NodeId b, Bandwidth bw) {
-  GROUT_REQUIRE(bw.valid(), "invalid override bandwidth");
+  GROUT_REQUIRE(bw.bps() >= 0.0, "invalid override bandwidth");
   node_ref(a);
   node_ref(b);
   overrides_[{std::min(a, b), std::max(a, b)}] = bw;
 }
+
+void NetworkFabric::kill_node(NodeId id) { node_ref(id).alive = false; }
 
 gpusim::EventPtr NetworkFabric::transfer(NodeId from, NodeId to, Bytes size, std::string label,
                                          gpusim::EventPtr ready) {
@@ -54,6 +56,9 @@ gpusim::EventPtr NetworkFabric::transfer(NodeId from, NodeId to, Bytes size, std
 
 void NetworkFabric::start_transfer(NodeId from, NodeId to, Bytes size, const std::string& label,
                                    const gpusim::EventPtr& done) {
+  // The data-movement planner skips zero-bandwidth routes; reaching this
+  // point on a dead link is a scheduling bug, not a slow transfer.
+  GROUT_CHECK(bandwidth(from, to).valid(), "bulk transfer scheduled on a zero-bandwidth link");
   const SimTime begin = sim_.now();
   const SimTime duration = latency(from, to) + bandwidth(from, to).transfer_time(size);
   // Occupy both endpoints; completion is whichever queue drains last.
@@ -75,10 +80,39 @@ gpusim::EventPtr NetworkFabric::send_control(NodeId from, NodeId to, Bytes size)
   node_ref(to);
   GROUT_REQUIRE(from != to, "self transfer");
   gpusim::EventPtr done = gpusim::make_event();
-  const SimTime end = sim_.now() + latency(from, to) + bandwidth(from, to).transfer_time(size);
-  total_bytes_ += size;
-  sim_.schedule_at(end, [done, end] { done->complete(end); });
+  ++control_sends_;
+  attempt_control(from, to, size, done, retry_.timeout);
   return done;
+}
+
+void NetworkFabric::attempt_control(NodeId from, NodeId to, Bytes size,
+                                    const gpusim::EventPtr& done, SimTime timeout) {
+  if (!node_ref(from).alive || !node_ref(to).alive) {
+    // An endpoint died: there is nobody left to deliver to (or from).
+    // Whoever depended on this message has been superseded by recovery.
+    ++control_abandoned_;
+    return;
+  }
+  const Bandwidth bw = bandwidth(from, to);
+  const bool dropped = (control_fault_hook_ && control_fault_hook_(from, to)) || !bw.valid();
+  if (dropped) {
+    // Lost on the wire: the sender notices via timeout and retransmits
+    // with exponential backoff (capped).
+    ++control_drops_;
+    sim_.schedule_after(timeout, [this, from, to, size, done, timeout] {
+      ++control_timeouts_;
+      ++control_retries_;
+      const auto next_ns = static_cast<std::int64_t>(
+          static_cast<double>(timeout.ns()) * retry_.backoff);
+      attempt_control(from, to, size, done,
+                      std::min(SimTime::from_ns(next_ns), retry_.max_timeout));
+    });
+    return;
+  }
+  total_bytes_ += size;
+  const SimTime end =
+      sim_.now() + latency(from, to) + control_extra_delay_ + bw.transfer_time(size);
+  sim_.schedule_at(end, [done, end] { done->complete(end); });
 }
 
 Bytes NetworkFabric::bytes_sent_by(NodeId node) const { return node_ref(node).tx->bytes_moved(); }

@@ -6,22 +6,35 @@
 // installed (heterogeneous links / VNIC SLAs, Section IV-D). The measured
 // interconnection matrix the min-transfer-time policy uses is exactly what
 // `bandwidth()` exposes, mirroring the probe GrOUT performs at startup.
+//
+// Control-lane messages are delivered reliably: a fault hook (installed by
+// the FaultInjector) may drop an attempt, in which case the sender times
+// out and resends with exponential backoff until the message lands or an
+// endpoint dies. Bulk `transfer`s are not subject to drops — see the fault
+// model note in net/fault.hpp.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "gpusim/event.hpp"
+#include "net/topology.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace grout::net {
 
-using NodeId = std::int32_t;
+/// Timeout/backoff parameters for the reliable control lane.
+struct ControlRetryConfig {
+  SimTime timeout = SimTime::from_us(200.0);  ///< first retransmission timeout
+  double backoff = 2.0;                       ///< timeout multiplier per retry
+  SimTime max_timeout = SimTime::from_ms(10.0);
+};
 
 struct NicSpec {
   std::string name;
@@ -46,7 +59,8 @@ class NetworkFabric {
   /// One-way latency between two nodes.
   [[nodiscard]] SimTime latency(NodeId from, NodeId to) const;
 
-  /// Install a per-pair bandwidth override (both directions).
+  /// Install a per-pair bandwidth override (both directions). Zero is
+  /// allowed and means the link is down until a later override restores it.
   void set_link_override(NodeId a, NodeId b, Bandwidth bw);
 
   /// Start a transfer when `ready` completes (nullptr = immediately);
@@ -56,22 +70,50 @@ class NetworkFabric {
 
   /// Small control message (CE descriptors, acks): rides a prioritized QoS
   /// lane, so it pays latency + serialization but does not queue behind
-  /// bulk transfers. Returns the arrival event.
+  /// bulk transfers. Delivery is reliable: a dropped attempt (fault hook,
+  /// or a link degraded to zero bandwidth) is retried after a timeout with
+  /// exponential backoff. Returns the arrival event; it never fires when an
+  /// endpoint dies first (the runtime's recovery supersedes the CE then).
   gpusim::EventPtr send_control(NodeId from, NodeId to, Bytes size);
+
+  void set_control_retry(ControlRetryConfig config) { retry_ = config; }
+
+  /// Fault-injection surface (see net/fault.hpp). The hook is consulted
+  /// once per control-lane attempt; returning true loses that attempt.
+  void set_control_fault_hook(std::function<bool(NodeId from, NodeId to)> hook) {
+    control_fault_hook_ = std::move(hook);
+  }
+  void set_control_extra_delay(SimTime delay) { control_extra_delay_ = delay; }
+
+  /// Mark a node as dead: control sends touching it are abandoned. The
+  /// bandwidth matrix is left untouched — recovery never routes through a
+  /// dead node because the coherence directory drops it as a holder.
+  void kill_node(NodeId id);
+  [[nodiscard]] bool node_alive(NodeId id) const { return node_ref(id).alive; }
 
   [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
   [[nodiscard]] Bytes bytes_sent_by(NodeId node) const;
   [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
+
+  // -- control-lane reliability counters -------------------------------------
+  [[nodiscard]] std::uint64_t control_sends() const { return control_sends_; }
+  [[nodiscard]] std::uint64_t control_drops() const { return control_drops_; }
+  [[nodiscard]] std::uint64_t control_timeouts() const { return control_timeouts_; }
+  [[nodiscard]] std::uint64_t control_retries() const { return control_retries_; }
+  [[nodiscard]] std::uint64_t control_abandoned() const { return control_abandoned_; }
 
  private:
   struct Node {
     NicSpec nic;
     std::unique_ptr<sim::Resource> tx;
     std::unique_ptr<sim::Resource> rx;
+    bool alive{true};
   };
 
   void start_transfer(NodeId from, NodeId to, Bytes size, const std::string& label,
                       const gpusim::EventPtr& done);
+  void attempt_control(NodeId from, NodeId to, Bytes size, const gpusim::EventPtr& done,
+                       SimTime timeout);
   const Node& node_ref(NodeId id) const;
   Node& node_ref(NodeId id);
 
@@ -79,8 +121,16 @@ class NetworkFabric {
   sim::Tracer* tracer_;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, Bandwidth> overrides_;
+  ControlRetryConfig retry_;
+  std::function<bool(NodeId, NodeId)> control_fault_hook_;
+  SimTime control_extra_delay_{SimTime::zero()};
   Bytes total_bytes_{0};
   std::uint64_t transfers_{0};
+  std::uint64_t control_sends_{0};
+  std::uint64_t control_drops_{0};
+  std::uint64_t control_timeouts_{0};
+  std::uint64_t control_retries_{0};
+  std::uint64_t control_abandoned_{0};
 };
 
 }  // namespace grout::net

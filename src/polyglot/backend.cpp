@@ -71,7 +71,10 @@ void GroutBackend::advise(ArrayRef array, uvm::Advise advise) {
   runtime_->advise(array, advise);
 }
 
-void GroutBackend::ensure_host_readable(ArrayRef array) { runtime_->host_fetch(array); }
+void GroutBackend::ensure_host_readable(ArrayRef array) {
+  GROUT_CHECK(runtime_->host_fetch(array),
+              "host fetch ran out of time (run cap expired before the data landed)");
+}
 
 void GroutBackend::launch(gpusim::KernelLaunchSpec spec) { runtime_->launch(std::move(spec)); }
 

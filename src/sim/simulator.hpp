@@ -47,6 +47,13 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Timestamp of the next pending event (SimTime::max() when idle); lets
+  /// callers that drive step() themselves honor a deadline the way
+  /// run_until() does, without executing past it.
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? SimTime::max() : queue_.top().time;
+  }
+
  private:
   struct Event {
     SimTime time;

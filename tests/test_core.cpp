@@ -165,6 +165,18 @@ TEST(VectorStepPolicyTest, RejectsBadVectors) {
   EXPECT_THROW(VectorStepPolicy({1, 0}), InvalidArgument);
 }
 
+TEST(VectorStepPolicyTest, WrapsWhenVectorIsLongerThanWorkerCount) {
+  // Three entries but only two workers: the node cursor must wrap, so the
+  // third entry lands back on node 0 and the cycle continues shifted.
+  VectorStepPolicy p({2, 2, 2});
+  CoherenceDirectory dir(2);
+  const std::vector<PlacementParam> none;
+  const PlacementQuery q = query_of(none, dir, nullptr, 2);
+  std::vector<std::size_t> got;
+  for (int i = 0; i < 8; ++i) got.push_back(p.assign(q));
+  EXPECT_EQ(got, (std::vector<std::size_t>{0, 0, 1, 1, 0, 0, 1, 1}));
+}
+
 struct MinTransferFixture : ::testing::Test {
   MinTransferFixture() : dir(3) {
     std::vector<net::NicSpec> nics;
@@ -284,6 +296,42 @@ TEST(LeastOutstandingPolicyTest, FallsBackToRoundRobinWithoutCounts) {
   EXPECT_EQ(p.assign(q), 0u);
 }
 
+TEST(PolicyLivenessTest, RoundRobinSkipsDeadWorkers) {
+  RoundRobinPolicy p;
+  CoherenceDirectory dir(3);
+  const std::vector<PlacementParam> none;
+  PlacementQuery q = query_of(none, dir, nullptr, 3);
+  const std::vector<bool> alive{true, false, true};
+  q.alive = &alive;
+  EXPECT_EQ(p.assign(q), 0u);
+  EXPECT_EQ(p.assign(q), 2u);
+  EXPECT_EQ(p.assign(q), 0u);
+  EXPECT_EQ(p.assign(q), 2u);
+}
+
+TEST(PolicyLivenessTest, LeastOutstandingIgnoresDeadWorkers) {
+  LeastOutstandingPolicy p;
+  CoherenceDirectory dir(3);
+  const std::vector<PlacementParam> none;
+  PlacementQuery q = query_of(none, dir, nullptr, 3);
+  const std::vector<std::uint64_t> outstanding{0, 5, 3};
+  const std::vector<bool> alive{false, true, true};
+  q.outstanding = &outstanding;
+  q.alive = &alive;
+  // Worker 0 is idle but dead: the lighter of the two survivors wins.
+  EXPECT_EQ(p.assign(q), 2u);
+}
+
+TEST(PolicyLivenessTest, AllDeadFailsLoudly) {
+  RoundRobinPolicy p;
+  CoherenceDirectory dir(2);
+  const std::vector<PlacementParam> none;
+  PlacementQuery q = query_of(none, dir, nullptr, 2);
+  const std::vector<bool> alive{false, false};
+  q.alive = &alive;
+  EXPECT_THROW(p.assign(q), InternalError);
+}
+
 
 TEST(PolicyNamesTest, Strings) {
   EXPECT_STREQ(to_string(PolicyKind::RoundRobin), "round-robin");
@@ -378,7 +426,7 @@ TEST(GroutRuntimeTest, HostFetchGathersFromOwner) {
   const GlobalArrayId a = rt.alloc(2_MiB, "a");
   rt.host_init(a);
   rt.launch(global_kernel(a, uvm::AccessMode::ReadWrite));
-  rt.host_fetch(a);
+  EXPECT_TRUE(rt.host_fetch(a));
   EXPECT_TRUE(rt.directory().up_to_date_on_controller(a));
   EXPECT_GT(rt.now(), SimTime::zero());
 }
@@ -427,6 +475,34 @@ TEST(GroutRuntimeTest, LeastOutstandingBalancesAssignments) {
   EXPECT_TRUE(rt.synchronize());
   EXPECT_EQ(rt.metrics().assignments[0], 4u);
   EXPECT_EQ(rt.metrics().assignments[1], 4u);
+}
+
+TEST(GroutRuntimeTest, LeastOutstandingTracksInFlightNotCumulative) {
+  // Regression: the policy used to consult cumulative assignment counts, so
+  // a worker that had long drained its queue still looked as loaded as one
+  // stuck behind a long kernel. It must consult in-flight CEs instead.
+  GroutRuntime rt(small_grout(PolicyKind::LeastOutstanding));
+  const GlobalArrayId slow_a = rt.alloc(1_MiB, "slow");
+  const GlobalArrayId fast_a = rt.alloc(1_MiB, "fast");
+  const GlobalArrayId third_a = rt.alloc(1_MiB, "third");
+
+  auto slow_spec = global_kernel(slow_a, uvm::AccessMode::Write, "slow");
+  slow_spec.flops = 1e15;  // ~80 s on a V100: keeps worker 0 busy
+  const CeTicket slow = rt.launch(std::move(slow_spec));
+  EXPECT_EQ(slow.worker, 0u);
+  const CeTicket fast = rt.launch(global_kernel(fast_a, uvm::AccessMode::Write, "fast"));
+  EXPECT_EQ(fast.worker, 1u);
+
+  // Let worker 1 drain its queue while worker 0 is still computing.
+  (void)rt.cluster().simulator().run_until(SimTime::from_seconds(1.0));
+  ASSERT_TRUE(fast.done->completed());
+  ASSERT_FALSE(slow.done->completed());
+
+  // Cumulative counts are tied 1-1 (the old behavior would pick worker 0);
+  // only in-flight load identifies the idle worker.
+  const CeTicket third = rt.launch(global_kernel(third_a, uvm::AccessMode::Write, "third"));
+  EXPECT_EQ(third.worker, 1u);
+  EXPECT_TRUE(rt.synchronize());
 }
 
 TEST(GroutRuntimeTest, AggregatedUvmStats) {

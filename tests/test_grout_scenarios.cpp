@@ -145,6 +145,60 @@ TEST(GroutScenario, ExplorationOverrideChangesPlacement) {
   EXPECT_EQ(rt.metrics().assignments[1], 0u);
 }
 
+TEST(GroutScenario, StrictOverrideExploitsOnlyFullHolders) {
+  // Threshold 1.0: a node is viable only when it already holds every input
+  // byte. The first CE explores (round-robin -> worker 0); the second finds
+  // worker 0 holding 100% of its input and sticks to it.
+  GroutConfig cfg = scenario_config(PolicyKind::MinTransferSize);
+  cfg.exploration_threshold_override = 1.0;
+  GroutRuntime rt(cfg);
+  const GlobalArrayId a = rt.alloc(2_MiB, "a");
+  rt.host_init(a);
+  const CeTicket first = rt.launch(kernel("k0", {{a, uvm::AccessMode::Read}}));
+  const CeTicket second = rt.launch(kernel("k1", {{a, uvm::AccessMode::Read}}));
+  EXPECT_TRUE(rt.synchronize());
+  EXPECT_EQ(first.worker, 0u);
+  EXPECT_EQ(second.worker, 0u);
+}
+
+TEST(GroutScenario, InvalidOverrideRejectedAtConstruction) {
+  GroutConfig cfg = scenario_config(PolicyKind::MinTransferSize);
+  cfg.exploration_threshold_override = 1.5;
+  EXPECT_THROW(GroutRuntime rt(cfg), InvalidArgument);
+}
+
+TEST(GroutScenario, OverrideIgnoredForOfflinePolicies) {
+  // The override only parameterizes the min-transfer policies; a
+  // round-robin run with one set must behave exactly like plain round-robin.
+  GroutConfig cfg = scenario_config(PolicyKind::RoundRobin);
+  cfg.exploration_threshold_override = 0.9;
+  GroutRuntime rt(cfg);
+  EXPECT_EQ(rt.policy(), PolicyKind::RoundRobin);
+  const GlobalArrayId a = rt.alloc(1_MiB, "a");
+  rt.host_init(a);
+  const CeTicket first = rt.launch(kernel("k0", {{a, uvm::AccessMode::Read}}));
+  const CeTicket second = rt.launch(kernel("k1", {{a, uvm::AccessMode::Read}}));
+  EXPECT_TRUE(rt.synchronize());
+  EXPECT_EQ(first.worker, 0u);
+  EXPECT_EQ(second.worker, 1u);
+}
+
+TEST(GroutScenario, PureOutputCEsExploreRoundRobin) {
+  // CEs with no inputs carry no locality signal: min-transfer-size must
+  // spread them round-robin instead of clumping them on one node.
+  GroutRuntime rt(scenario_config(PolicyKind::MinTransferSize));
+  for (int i = 0; i < 4; ++i) {
+    const GlobalArrayId out = rt.alloc(1_MiB, "out" + std::to_string(i));
+    const CeTicket t = rt.launch(kernel("gen" + std::to_string(i),
+                                        {{out, uvm::AccessMode::Write}}));
+    EXPECT_EQ(t.worker, static_cast<std::size_t>(i % 2));
+  }
+  EXPECT_TRUE(rt.synchronize());
+  EXPECT_EQ(rt.metrics().controller_sends, 0u);  // nothing needed to move
+  EXPECT_EQ(rt.metrics().assignments[0], 2u);
+  EXPECT_EQ(rt.metrics().assignments[1], 2u);
+}
+
 TEST(GroutScenario, FourWorkersRoundRobinPlacement) {
   GroutRuntime rt(scenario_config(PolicyKind::RoundRobin, 4));
   const GlobalArrayId a = rt.alloc(1_MiB, "a");
@@ -164,7 +218,7 @@ TEST(GroutScenario, HostFetchAfterEveryWriterSeesLatestOwner) {
   rt.host_init(a);
   for (int round = 0; round < 3; ++round) {
     rt.launch(kernel("w" + std::to_string(round), {{a, uvm::AccessMode::ReadWrite}}));
-    rt.host_fetch(a);
+    EXPECT_TRUE(rt.host_fetch(a));
     EXPECT_TRUE(rt.directory().up_to_date_on_controller(a));
   }
   EXPECT_TRUE(rt.synchronize());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/strings.hpp"
+#include "net/fault.hpp"
 #include "report/table.hpp"
 #include "script/script.hpp"
 #include "workloads/workloads.hpp"
@@ -48,6 +49,7 @@ struct Options {
   std::string eviction = "lru";
   std::string format = "text";  // text | markdown | csv
   std::optional<std::string> trace_path;
+  net::FaultPlan fault_plan;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -68,7 +70,14 @@ struct Options {
                "  --shared-matrix                 (MV: one shared allocation)\n"
                "  --eviction lru|fifo|random      (default lru)\n"
                "  --format text|markdown|csv      (sweep/policies output)\n"
-               "  --trace <file.json>             (chrome://tracing output)\n");
+               "  --trace <file.json>             (chrome://tracing output)\n"
+               "  --fault-plan <spec>             (grout backend; ','/';'-separated:\n"
+               "       kill:<worker>@<sec>           kill a worker at a sim time\n"
+               "       degrade:<a>-<b>@<sec>=<mbit>  link a<->b to <mbit> Mbit/s (0=down)\n"
+               "       drop:<n>                      drop next n control messages\n"
+               "       droprate:<p>[@<seed>]         drop each control msg with prob p\n"
+               "       delay:<us>                    extra control-lane delay\n"
+               "     e.g. --fault-plan kill:0@0.5,drop:2)\n");
   std::exit(2);
 }
 
@@ -163,6 +172,8 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (flag == "--trace") {
       opt.trace_path = next();
+    } else if (flag == "--fault-plan") {
+      opt.fault_plan = net::FaultPlan::parse(next());
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -214,6 +225,7 @@ polyglot::Context make_context(const Options& opt, const std::string& backend) {
   cfg.step_vector = opt.step_vector;
   cfg.exploration = opt.exploration;
   cfg.run_cap = SimTime::from_seconds(9000.0);
+  cfg.fault_plan = opt.fault_plan;
   return polyglot::Context::grout(std::move(cfg));
 }
 
@@ -247,6 +259,19 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
     if (m.decision_ns.count() > 0) {
       std::printf("  decision median: %.1f us (real wall clock)\n",
                   rt.metrics().decision_ns.median() / 1000.0);
+    }
+    if (!opt.fault_plan.empty()) {
+      std::printf("faults:\n");
+      std::printf("  %llu worker deaths, %llu CEs rescheduled, %llu replayed, "
+                  "%llu arrays recovered\n",
+                  static_cast<unsigned long long>(m.worker_deaths),
+                  static_cast<unsigned long long>(m.ces_rescheduled),
+                  static_cast<unsigned long long>(m.ces_replayed),
+                  static_cast<unsigned long long>(m.arrays_recovered));
+      std::printf("  control lane: %llu drops, %llu timeouts, %llu retries\n",
+                  static_cast<unsigned long long>(m.control_drops),
+                  static_cast<unsigned long long>(m.control_timeouts),
+                  static_cast<unsigned long long>(m.control_retries));
     }
     std::printf("uvm:\n");
     std::printf("  fetched %s, written back %s, %llu evictions, %llu/%llu storm kernels\n",
