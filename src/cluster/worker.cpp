@@ -11,7 +11,11 @@ Worker::Worker(sim::Simulator& simulator, gpusim::GpuNodeConfig node_config,
 
 uvm::ArrayId Worker::ensure_array(GlobalArrayId global, Bytes bytes, const std::string& name) {
   const auto it = local_ids_.find(global);
-  if (it != local_ids_.end()) return it->second;
+  if (it != local_ids_.end()) {
+    GROUT_REQUIRE(node_.uvm().array_bytes(it->second) == bytes,
+                  "global array re-ensured with a different byte size");
+    return it->second;
+  }
   const uvm::ArrayId local = node_.uvm().alloc(bytes, name + "@" + node_.name());
   local_ids_.emplace(global, local);
   return local;
@@ -21,6 +25,38 @@ uvm::ArrayId Worker::local_array(GlobalArrayId global) const {
   const auto it = local_ids_.find(global);
   GROUT_REQUIRE(it != local_ids_.end(), "array not present on this worker");
   return it->second;
+}
+
+void Worker::release_array(GlobalArrayId global, gpusim::EventPtr after) {
+  const auto it = local_ids_.find(global);
+  GROUT_REQUIRE(it != local_ids_.end(), "array not present on this worker");
+  const uvm::ArrayId local = it->second;
+  local_ids_.erase(it);
+  if (after == nullptr || after->completed()) {
+    node_.uvm().free_array(local);
+  } else {
+    after->on_complete([this, local] { node_.uvm().free_array(local); });
+  }
+}
+
+void Worker::release_all() {
+  // The mapping is gone immediately, but the node may still be simulating
+  // work submitted before it died (stale kernels, staged sends); freeing
+  // under those would trip "use of freed array". Defer the UVM frees until
+  // everything submitted so far has drained.
+  std::vector<uvm::ArrayId> locals;
+  locals.reserve(local_ids_.size());
+  for (const auto& [global, local] : local_ids_) locals.push_back(local);
+  local_ids_.clear();
+  if (locals.empty()) return;
+  const gpusim::EventPtr quiescent = runtime_.quiescent_event();
+  if (quiescent == nullptr || quiescent->completed()) {
+    for (const uvm::ArrayId local : locals) node_.uvm().free_array(local);
+  } else {
+    quiescent->on_complete([this, locals = std::move(locals)] {
+      for (const uvm::ArrayId local : locals) node_.uvm().free_array(local);
+    });
+  }
 }
 
 runtime::Submission Worker::execute_kernel(gpusim::KernelLaunchSpec spec,

@@ -36,6 +36,16 @@ class Worker {
   }
   [[nodiscard]] uvm::ArrayId local_array(GlobalArrayId global) const;
 
+  /// Forget the global->local mapping and free the local allocation. When
+  /// `after` is set the UvmSpace free is deferred until it completes (an
+  /// in-flight staged send may still read the allocation); the mapping is
+  /// dropped immediately either way, so a re-ensure allocates afresh.
+  void release_array(GlobalArrayId global, gpusim::EventPtr after = nullptr);
+
+  /// Free every local allocation and clear the mapping (worker death:
+  /// dead replicas must not linger in `local_ids_`).
+  void release_all();
+
   /// Execute a kernel CE whose params refer to *global* array ids; they are
   /// translated to this node's local allocations. When `ready` is set the
   /// kernel waits for it (the controller's control-message arrival).

@@ -50,6 +50,19 @@ class CoherenceDirectory {
     check_invariant(id);
   }
 
+  /// Eviction: forget `worker`'s copy. The worker must currently hold one
+  /// and must not be the sole holder — dropping the last up-to-date copy
+  /// would lose the array (the memory governor spills it to the controller
+  /// first).
+  void remove_worker_copy(GlobalArrayId id, std::size_t worker) {
+    GROUT_REQUIRE(worker < workers_, "worker index out of range");
+    LocationSet& h = entry_mut(id).holders;
+    GROUT_REQUIRE(h.worker(worker), "worker holds no up-to-date copy to remove");
+    GROUT_REQUIRE(h.holder_count() > 1, "refusing to drop the sole up-to-date copy");
+    h.remove_worker(worker);
+    check_invariant(id);
+  }
+
   /// A worker died: remove it from every holder set. Arrays left with zero
   /// holders are returned so the runtime can rebuild a copy from DAG
   /// lineage — the "at least one holder" invariant is suspended for exactly

@@ -27,6 +27,12 @@ GroutRuntime::GroutRuntime(GroutConfig config)
   metrics_.assignments.assign(config_.cluster.workers, 0);
   metrics_.inflight.assign(config_.cluster.workers, 0);
   alive_.assign(config_.cluster.workers, true);
+  GROUT_REQUIRE(config_.worker_mem_headroom > 0.0, "worker_mem_headroom must be positive");
+  const Bytes node_gpu_mem =
+      config_.cluster.worker_node.gpu_count * config_.cluster.worker_node.device.memory;
+  const Bytes budget = config_.worker_mem.value_or(static_cast<Bytes>(
+      config_.worker_mem_headroom * static_cast<double>(node_gpu_mem)));
+  governor_ = std::make_unique<MemoryGovernor>(*cluster_, directory_, metrics_, budget);
   cluster_->fabric().set_control_retry(config_.control_retry);
   if (!config_.fault_plan.empty()) {
     for (const net::KillWorkerFault& k : config_.fault_plan.kills) {
@@ -105,22 +111,31 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   query.workers = cluster_->worker_count();
   query.outstanding = &metrics_.inflight;
   query.alive = &alive_;
+  query.resident = &governor_->resident_by_worker();
+  query.mem_budget = governor_->budget();
   const std::size_t w = policy_->assign(query);
   GROUT_CHECK(w < cluster_->worker_count() && alive_[w],
               "policy returned an invalid or dead worker");
 
-  // 2. Data movements implied by the placement (Algorithm 1, last loop).
+  // 2. Memory governance, then the data movements implied by the placement
+  //    (Algorithm 1, last loop). Cold replicas are evicted *before* the
+  //    lazy allocations below so the worker never overshoots its budget;
+  //    the CE's own arrays are then accounted and pinned until completion.
+  governor_->make_room(w, params);
   cluster::Worker& worker = cluster_->worker(w);
   for (const auto& p : spec.params) {
     const auto id = static_cast<GlobalArrayId>(p.array);
     const bool fresh = !worker.has_array(id);
     worker.ensure_array(id, directory_.bytes_of(id), directory_.name_of(id));
+    governor_->note_ensure(w, id);
+    governor_->note_use(w, id);
     if (fresh) {
       if (const auto it = advises_.find(id); it != advises_.end()) {
         worker.node().uvm().advise(worker.local_array(id), it->second);
       }
     }
   }
+  for (const GlobalArrayId id : unique_arrays(spec)) governor_->pin(w, id);
   for (const PlacementParam& p : params) {
     if (!p.needs_data) continue;
     if (!directory_.holders(p.array).any()) {
@@ -176,7 +191,21 @@ void GroutRuntime::on_ce_complete(dag::VertexId v, std::uint32_t attempt) {
   GROUT_CHECK(metrics_.inflight[rec.worker] > 0, "in-flight counter underflow");
   --metrics_.inflight[rec.worker];
   global_dag_.mark_done(v);
+  // The CE's pins lapse: re-establish the worker's budget now that its
+  // replicas are evictable again.
+  for (const GlobalArrayId id : unique_arrays(rec.spec)) governor_->unpin(rec.worker, id);
+  governor_->enforce(rec.worker);
   rec.done->complete(cluster_->simulator().now());
+}
+
+std::vector<GlobalArrayId> GroutRuntime::unique_arrays(const gpusim::KernelLaunchSpec& spec) {
+  std::vector<GlobalArrayId> ids;
+  ids.reserve(spec.params.size());
+  for (const auto& p : spec.params) {
+    const auto id = static_cast<GlobalArrayId>(p.array);
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+  }
+  return ids;
 }
 
 void GroutRuntime::handle_worker_death(std::size_t w) {
@@ -186,8 +215,10 @@ void GroutRuntime::handle_worker_death(std::size_t w) {
   ++metrics_.worker_deaths;
 
   // Forget every copy the dead worker held; arrays left holderless need a
-  // rebuilt copy before anyone can read them again.
+  // rebuilt copy before anyone can read them again. The governor frees the
+  // dead node's local allocations so its replicas don't linger.
   const std::vector<GlobalArrayId> orphaned = directory_.drop_worker(w);
+  governor_->drop_worker(w);
   if (!config_.lineage_recovery) return;  // leave the orphans lost (baseline)
 
   for (const GlobalArrayId id : orphaned) recover_array(id);
@@ -271,11 +302,14 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   if (holders.controller() &&
       cluster_->fabric().bandwidth(cluster::Cluster::controller_id(), dst_fid).valid()) {
     // Controller holds a current copy and the route is up: direct send
-    // (Algorithm 1's scheduledNode.send(param) branch).
+    // (Algorithm 1's scheduledNode.send(param) branch). A copy the
+    // controller holds only because of an in-flight spill is not readable
+    // until that spill lands.
     transfer_done = cluster_->fabric().transfer(cluster::Cluster::controller_id(), dst_fid,
                                                 param.bytes,
                                                 "ctl->" + std::to_string(worker) + ":" +
-                                                    directory_.name_of(id));
+                                                    directory_.name_of(id),
+                                                governor_->controller_ready(id));
     ++metrics_.controller_sends;
   } else {
     // P2P branch: pick the up-to-date worker with the fastest *live* route.
@@ -299,13 +333,18 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
                 "required array unreachable: every route from an up-to-date holder "
                 "has zero bandwidth");
     // The source worker must gather the array to its host memory first
-    // (its local DAG orders this after local writers).
+    // (its local DAG orders this after local writers). The source replica
+    // is pinned until the transfer drains so the governor cannot free the
+    // allocation out from under the staged read.
+    governor_->pin(best, id);
     runtime::Submission staged = cluster_->worker(best).stage_send(id);
     transfer_done = cluster_->fabric().transfer(
         cluster::Cluster::worker_fabric_id(best), dst_fid, param.bytes,
         "p2p" + std::to_string(best) + "->" + std::to_string(worker) + ":" +
             directory_.name_of(id),
         staged.done);
+    MemoryGovernor* gov = governor_.get();
+    transfer_done->on_complete([gov, best, id] { gov->unpin(best, id); });
     ++metrics_.p2p_sends;
   }
   metrics_.bytes_planned += param.bytes;
@@ -316,14 +355,29 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   return arrival.done;
 }
 
+bool GroutRuntime::wait_controller_copy(GlobalArrayId array) {
+  // The controller may hold `array` only by virtue of an in-flight spill;
+  // the data is not readable until that transfer lands. Drive the event
+  // loop, but never past the run cap.
+  sim::Simulator& sim = cluster_->simulator();
+  const gpusim::EventPtr pending = governor_->controller_ready(array);
+  while (pending != nullptr && !pending->completed()) {
+    GROUT_CHECK(sim.pending_events() > 0,
+                "deadlock while waiting for a spill to reach the controller");
+    if (sim.next_event_time() > config_.run_cap) return false;
+    sim.step();
+  }
+  return true;
+}
+
 bool GroutRuntime::host_fetch(GlobalArrayId array) {
-  if (directory_.up_to_date_on_controller(array)) return true;
+  if (directory_.up_to_date_on_controller(array)) return wait_controller_copy(array);
   if (!directory_.holders(array).any()) {
     // Every copy died with its worker(s): rebuild one from DAG lineage.
     GROUT_CHECK(config_.lineage_recovery,
                 "no holder for array (and lineage recovery is disabled)");
     recover_array(array);
-    if (directory_.up_to_date_on_controller(array)) return true;
+    if (directory_.up_to_date_on_controller(array)) return wait_controller_copy(array);
   }
   const LocationSet& holders = directory_.holders(array);
   const std::vector<std::size_t> sources = holders.worker_holders();
@@ -347,10 +401,17 @@ bool GroutRuntime::host_fetch(GlobalArrayId array) {
   GROUT_CHECK(found,
               "array unreachable: every route from an up-to-date holder to the "
               "controller has zero bandwidth");
+  // Pin the staging source so the governor cannot free the allocation out
+  // from under the host-side gather.
+  governor_->pin(best, array);
   runtime::Submission staged = cluster_->worker(best).stage_send(array);
   gpusim::EventPtr landed = cluster_->fabric().transfer(
       cluster::Cluster::worker_fabric_id(best), cluster::Cluster::controller_id(),
       directory_.bytes_of(array), "fetch:" + directory_.name_of(array), staged.done);
+  {
+    MemoryGovernor* gov = governor_.get();
+    landed->on_complete([gov, best, array] { gov->unpin(best, array); });
+  }
 
   // Drive the event loop, but never past the run cap: an unbounded wait
   // here could spin a stalled run forever instead of reporting out-of-time.
@@ -376,6 +437,12 @@ SchedulerMetrics& GroutRuntime::metrics() {
   metrics_.control_retries = fabric.control_retries();
   metrics_.control_timeouts = fabric.control_timeouts();
   metrics_.control_drops = fabric.control_drops();
+  // Snapshot the governor's per-worker replica accounting.
+  metrics_.worker_resident = governor_->resident_by_worker();
+  metrics_.worker_high_water.resize(cluster_->worker_count());
+  for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
+    metrics_.worker_high_water[w] = governor_->high_water(w);
+  }
   return metrics_;
 }
 

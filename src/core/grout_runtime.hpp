@@ -24,6 +24,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/directory.hpp"
+#include "core/memory_governor.hpp"
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "dag/dependency_dag.hpp"
@@ -48,6 +49,14 @@ struct GroutConfig {
   /// Rebuild arrays whose only copy died by replaying their producer CEs
   /// from the Global DAG. Disable to observe the unrecovered failure mode.
   bool lineage_recovery{true};
+  /// Per-worker replica-cache budget in bytes (--worker-mem). nullopt =
+  /// derive from the node's combined GPU memory x worker_mem_headroom; an
+  /// explicit 0 = unbounded (the pre-governor behavior).
+  std::optional<Bytes> worker_mem{};
+  /// Headroom multiplier for the derived default budget. Replicas are
+  /// staged through host DRAM, which the evaluation nodes provision at
+  /// several times the GPU capacity.
+  double worker_mem_headroom{8.0};
 };
 
 /// Handle to a launched CE.
@@ -97,6 +106,7 @@ class GroutRuntime {
 
   [[nodiscard]] cluster::Cluster& cluster() { return *cluster_; }
   [[nodiscard]] const CoherenceDirectory& directory() const { return directory_; }
+  [[nodiscard]] const MemoryGovernor& governor() const { return *governor_; }
   [[nodiscard]] const dag::DependencyDag& global_dag() const { return global_dag_; }
   /// Scheduler metrics; control-lane counters are synced from the fabric on
   /// every call so callers always see current retry/timeout totals.
@@ -140,10 +150,16 @@ class GroutRuntime {
   void recover_array(GlobalArrayId id);
   /// Re-execute completed vertex `v` as a fresh DAG vertex on a survivor.
   void replay_vertex(dag::VertexId v);
+  /// Drive the event loop (never past the run cap) until a pending spill
+  /// backing the controller's copy of `array` has landed, if any.
+  bool wait_controller_copy(GlobalArrayId array);
+  /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
+  static std::vector<GlobalArrayId> unique_arrays(const gpusim::KernelLaunchSpec& spec);
 
   GroutConfig config_;
   std::unique_ptr<cluster::Cluster> cluster_;
   CoherenceDirectory directory_;
+  std::unique_ptr<MemoryGovernor> governor_;
   dag::DependencyDag global_dag_;
   std::unique_ptr<InterNodePolicy> policy_;
   SchedulerMetrics metrics_;

@@ -1,0 +1,209 @@
+#include "core/memory_governor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace grout::core {
+
+MemoryGovernor::MemoryGovernor(cluster::Cluster& cluster, CoherenceDirectory& directory,
+                               SchedulerMetrics& metrics, Bytes budget)
+    : cluster_{cluster}, directory_{directory}, metrics_{metrics}, budget_{budget} {
+  resident_.assign(cluster_.worker_count(), 0);
+  high_water_.assign(cluster_.worker_count(), 0);
+  replicas_.resize(cluster_.worker_count());
+  evicted_once_.resize(cluster_.worker_count());
+  metrics_.worker_mem_budget = budget_;
+}
+
+Bytes MemoryGovernor::resident_bytes(std::size_t w) const {
+  GROUT_REQUIRE(w < resident_.size(), "worker index out of range");
+  return resident_[w];
+}
+
+Bytes MemoryGovernor::high_water(std::size_t w) const {
+  GROUT_REQUIRE(w < high_water_.size(), "worker index out of range");
+  return high_water_[w];
+}
+
+void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>& params) {
+  if (!bounded()) return;
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  Bytes incoming = 0;
+  std::unordered_set<GlobalArrayId> needed;
+  for (const PlacementParam& p : params) {
+    if (!needed.insert(p.array).second) continue;
+    if (!replicas_[w].contains(p.array)) incoming += p.bytes;
+  }
+  while (resident_[w] + incoming > budget_) {
+    if (!evict_one(w, needed)) break;  // everything left is pinned or needed
+  }
+}
+
+void MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  const auto [it, fresh] = replicas_[w].try_emplace(id);
+  if (!fresh) return;
+  it->second.bytes = directory_.bytes_of(id);
+  it->second.last_use = cluster_.simulator().now();
+  resident_[w] += it->second.bytes;
+  high_water_[w] = std::max(high_water_[w], resident_[w]);
+  if (evicted_once_[w].contains(id)) ++metrics_.refetches;
+}
+
+void MemoryGovernor::note_use(std::size_t w, GlobalArrayId id) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  const auto it = replicas_[w].find(id);
+  GROUT_REQUIRE(it != replicas_[w].end(), "use of an untracked replica");
+  it->second.last_use = cluster_.simulator().now();
+}
+
+void MemoryGovernor::pin(std::size_t w, GlobalArrayId id) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  const auto it = replicas_[w].find(id);
+  GROUT_REQUIRE(it != replicas_[w].end(), "pin of an untracked replica");
+  ++it->second.pins;
+}
+
+void MemoryGovernor::unpin(std::size_t w, GlobalArrayId id) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  const auto it = replicas_[w].find(id);
+  if (it == replicas_[w].end()) return;  // dropped with a dead worker
+  GROUT_CHECK(it->second.pins > 0, "replica pin count underflow");
+  --it->second.pins;
+}
+
+void MemoryGovernor::enforce(std::size_t w) {
+  if (!bounded()) return;
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  const std::unordered_set<GlobalArrayId> keep;
+  while (resident_[w] > budget_) {
+    if (!evict_one(w, keep)) break;
+  }
+}
+
+void MemoryGovernor::drop_worker(std::size_t w) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  cluster_.worker(w).release_all();
+  resident_[w] = 0;
+  replicas_[w].clear();
+  evicted_once_[w].clear();
+}
+
+gpusim::EventPtr MemoryGovernor::controller_ready(GlobalArrayId id) const {
+  const auto it = spills_.find(id);
+  return it == spills_.end() ? nullptr : it->second;
+}
+
+bool MemoryGovernor::evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep) {
+  const net::NodeId dst = cluster::Cluster::worker_fabric_id(w);
+  const net::NetworkFabric& fabric = cluster_.fabric();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  bool found = false;
+  GlobalArrayId victim = 0;
+  double victim_cost = kInf;
+  SimTime victim_use = SimTime::max();
+  bool victim_sole = false;
+  for (const auto& [id, rep] : replicas_[w]) {
+    if (rep.pins > 0 || keep.contains(id)) continue;
+    const LocationSet& holders = directory_.holders(id);
+    const bool holder = holders.worker(w);
+    const bool sole = holder && holders.holder_count() == 1;
+    // Cost model: bytes x refetch time over the bandwidth matrix. Stale
+    // replicas would be refetched regardless, so they cost nothing.
+    double cost = 0.0;
+    if (holder) {
+      double best_bps = 0.0;
+      if (sole) {
+        // A sole copy must be spilled first; a dead uplink makes it
+        // unevictable, not silently droppable.
+        if (fabric.bandwidth(dst, cluster::Cluster::controller_id()).bps() <= 0.0) continue;
+        best_bps = fabric.bandwidth(cluster::Cluster::controller_id(), dst).bps();
+      } else {
+        if (holders.controller()) {
+          best_bps = fabric.bandwidth(cluster::Cluster::controller_id(), dst).bps();
+        }
+        for (const std::size_t s : holders.worker_holders()) {
+          if (s == w) continue;
+          best_bps = std::max(
+              best_bps, fabric.bandwidth(cluster::Cluster::worker_fabric_id(s), dst).bps());
+        }
+      }
+      cost = best_bps > 0.0
+                 ? static_cast<double>(rep.bytes) * (static_cast<double>(rep.bytes) / best_bps)
+                 : kInf;
+    }
+    // LRU-by-last-CE-use tiebreak; array id as the deterministic final tie.
+    const bool better =
+        !found || cost < victim_cost ||
+        (cost == victim_cost &&
+         (rep.last_use < victim_use || (rep.last_use == victim_use && id < victim)));
+    if (better) {
+      found = true;
+      victim = id;
+      victim_cost = cost;
+      victim_use = rep.last_use;
+      victim_sole = sole;
+    }
+  }
+  if (!found) return false;
+  evict(w, victim, victim_sole);
+  return true;
+}
+
+void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
+  const Replica rep = replicas_[w].at(id);
+  const SimTime now = cluster_.simulator().now();
+
+  gpusim::EventPtr free_after;  // nullptr = free the local allocation now
+  if (sole_holder) {
+    free_after = spill_to_controller(w, id, rep.bytes);
+  }
+  if (directory_.holders(id).worker(w)) {
+    directory_.remove_worker_copy(id, w);
+  }
+  cluster_.worker(w).release_array(id, free_after);
+
+  resident_[w] -= rep.bytes;
+  replicas_[w].erase(id);
+  evicted_once_[w].insert(id);
+  ++metrics_.evictions;
+  metrics_.bytes_evicted += rep.bytes;
+  cluster_.tracer().record(sim::TraceCategory::Eviction, "evict:" + directory_.name_of(id),
+                           "worker" + std::to_string(w), now, now);
+}
+
+gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayId id,
+                                                     Bytes bytes) {
+  cluster::Worker& worker = cluster_.worker(w);
+  const runtime::Submission staged = worker.stage_send(id);
+  const gpusim::EventPtr landed = cluster_.fabric().transfer(
+      cluster::Cluster::worker_fabric_id(w), cluster::Cluster::controller_id(), bytes,
+      "spill:" + directory_.name_of(id), staged.done);
+  // Eager directory update (like plan_movement); consumers of the
+  // controller copy are ordered after `landed` via controller_ready().
+  directory_.add_controller_copy(id);
+  spills_[id] = landed;
+  ++metrics_.spills;
+  metrics_.bytes_spilled += bytes;
+
+  sim::Tracer& tracer = cluster_.tracer();
+  if (tracer.enabled()) {
+    sim::Tracer* tp = &tracer;
+    sim::Simulator* simp = &cluster_.simulator();
+    const SimTime begin = simp->now();
+    const std::string name = "spill:" + directory_.name_of(id);
+    const std::string loc = "worker" + std::to_string(w);
+    landed->on_complete(
+        [tp, simp, begin, name, loc] {
+          tp->record(sim::TraceCategory::Eviction, name, loc, begin, simp->now());
+        });
+  }
+  landed->on_complete([this, id, landed] {
+    const auto it = spills_.find(id);
+    if (it != spills_.end() && it->second == landed) spills_.erase(it);
+  });
+  return staged.done;
+}
+
+}  // namespace grout::core

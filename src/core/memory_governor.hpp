@@ -1,0 +1,118 @@
+// Cluster memory governor: bounded worker replica caches.
+//
+// Workers accumulate array replicas as CEs land on them; nothing in the
+// base scheduler ever frees a copy, so a long run silently oversubscribes
+// every node — the same pathology GrOUT escapes at the UVM layer,
+// recreated one level up. The governor turns "replicate everywhere" into a
+// bounded cache:
+//
+//   * per-worker resident-bytes accounting over all replicas (up-to-date
+//     and stale alike — the allocation is what occupies the node);
+//   * a configurable budget per worker (GroutConfig::worker_mem, default
+//     node GPU capacity x headroom);
+//   * an eviction engine that reclaims cold replicas under pressure.
+//     Victims are picked by refetch cost — bytes x transfer time over the
+//     bandwidth matrix — with LRU-by-last-CE-use as the tiebreak: evict
+//     what is cheap to bring back and has not been used recently. Stale
+//     replicas (the worker is no longer an up-to-date holder) cost nothing
+//     to "refetch" and go first.
+//
+// Coherence safety: a sole up-to-date copy is never dropped. It is spilled
+// to the controller first (Worker::stage_send + a fabric transfer), the
+// directory gains the controller copy eagerly, and any consumer of that
+// controller copy is ordered after the spill's arrival via
+// `controller_ready`. Replicas pinned by in-flight CEs — or staging an
+// outbound transfer — are not evictable. Freed replicas release their
+// worker-side allocation through UvmSpace::free_array.
+//
+// Evictions and spills are visible as TraceCategory::Eviction spans
+// (location "workerN") and as SchedulerMetrics counters.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/directory.hpp"
+#include "core/metrics.hpp"
+#include "core/policies.hpp"
+
+namespace grout::core {
+
+class MemoryGovernor {
+ public:
+  /// `budget` bytes per worker; 0 = unbounded (the pre-governor behavior).
+  MemoryGovernor(cluster::Cluster& cluster, CoherenceDirectory& directory,
+                 SchedulerMetrics& metrics, Bytes budget);
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  [[nodiscard]] Bytes budget() const { return budget_; }
+  [[nodiscard]] bool bounded() const { return budget_ > 0; }
+  [[nodiscard]] Bytes resident_bytes(std::size_t w) const;
+  [[nodiscard]] Bytes high_water(std::size_t w) const;
+  /// Per-worker resident replica bytes (for PlacementQuery::resident).
+  [[nodiscard]] const std::vector<Bytes>& resident_by_worker() const { return resident_; }
+
+  // -- dispatch-time hooks ---------------------------------------------------
+
+  /// Evict cold replicas on `w` until the CE's incoming arrays fit within
+  /// budget. Best effort: pinned replicas and the CE's own arrays are
+  /// untouchable. Call before the lazy ensure_array allocations.
+  void make_room(std::size_t w, const std::vector<PlacementParam>& params);
+
+  /// A local allocation for `id` now exists on `w` (after ensure_array).
+  void note_ensure(std::size_t w, GlobalArrayId id);
+
+  /// A CE on `w` uses `id` at the current sim time (LRU bookkeeping).
+  void note_use(std::size_t w, GlobalArrayId id);
+
+  /// Pin/unpin a replica against eviction (in-flight CE params, staged
+  /// sends). Unpinning an already-dropped replica is a no-op: a worker
+  /// death may clear the accounting before the completion callback runs.
+  void pin(std::size_t w, GlobalArrayId id);
+  void unpin(std::size_t w, GlobalArrayId id);
+
+  /// Re-establish the budget on `w` after pins lapse (CE completions).
+  void enforce(std::size_t w);
+
+  /// Worker `w` died: free every replica it held and forget its accounting.
+  void drop_worker(std::size_t w);
+
+  /// Arrival event of an in-flight spill that created the controller's
+  /// copy of `id`, or nullptr. A consumer reading the controller copy must
+  /// be ordered after it.
+  [[nodiscard]] gpusim::EventPtr controller_ready(GlobalArrayId id) const;
+
+ private:
+  struct Replica {
+    Bytes bytes{0};
+    SimTime last_use{SimTime::zero()};
+    int pins{0};
+  };
+
+  /// Evict the cheapest-to-refetch cold replica on `w` (skipping `keep`).
+  /// Returns false when nothing is evictable.
+  bool evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep);
+  void evict(std::size_t w, GlobalArrayId id, bool sole_holder);
+  /// Stage + send `w`'s sole up-to-date copy of `id` to the controller.
+  /// Returns the "host copy consistent" event the local free must wait on.
+  gpusim::EventPtr spill_to_controller(std::size_t w, GlobalArrayId id, Bytes bytes);
+
+  cluster::Cluster& cluster_;
+  CoherenceDirectory& directory_;
+  SchedulerMetrics& metrics_;
+  Bytes budget_;
+  std::vector<Bytes> resident_;
+  std::vector<Bytes> high_water_;
+  std::vector<std::unordered_map<GlobalArrayId, Replica>> replicas_;
+  /// Arrays each worker evicted at least once: a later re-ensure there is a
+  /// refetch (the cost the victim picker trades against).
+  std::vector<std::unordered_set<GlobalArrayId>> evicted_once_;
+  /// In-flight spills by array (erased when the transfer lands).
+  std::unordered_map<GlobalArrayId, gpusim::EventPtr> spills_;
+};
+
+}  // namespace grout::core

@@ -36,6 +36,18 @@ struct SchedulerMetrics {
   std::uint64_t ces_replayed{0};
   std::uint64_t ces_rescheduled{0};
   std::uint64_t arrays_recovered{0};
+
+  // Cluster memory governor (bounded worker replica caches).
+  Bytes worker_mem_budget{0};  ///< per-worker budget; 0 = unbounded
+  std::uint64_t evictions{0};  ///< replicas dropped under pressure
+  std::uint64_t spills{0};     ///< sole copies pushed to the controller first
+  std::uint64_t refetches{0};  ///< re-ensures of a previously evicted replica
+  Bytes bytes_evicted{0};
+  Bytes bytes_spilled{0};
+  /// Current and peak replica bytes per worker (synced by
+  /// GroutRuntime::metrics() from the governor's accounting).
+  std::vector<Bytes> worker_resident;
+  std::vector<Bytes> worker_high_water;
 };
 
 }  // namespace grout::core

@@ -29,7 +29,36 @@ std::size_t next_alive_rr(const PlacementQuery& q, std::size_t& cursor) {
   return 0;
 }
 
+/// Round-robin preferring admissible workers; falls back to any live worker
+/// when the budget would be exceeded everywhere (the CE must run somewhere —
+/// the governor evicts to make room after placement).
+std::size_t next_placement_rr(const PlacementQuery& q, std::size_t& cursor) {
+  for (std::size_t tried = 0; tried < q.workers; ++tried) {
+    const std::size_t node = (cursor + tried) % q.workers;
+    if (placement_alive(q, node) && placement_admissible(q, node)) {
+      cursor = (node + 1) % q.workers;
+      return node;
+    }
+  }
+  return next_alive_rr(q, cursor);
+}
+
 }  // namespace
+
+bool placement_admissible(const PlacementQuery& q, std::size_t w) {
+  if (q.mem_budget == 0 || q.resident == nullptr || w >= q.resident->size() ||
+      q.params == nullptr || q.directory == nullptr) {
+    return true;
+  }
+  Bytes incoming = 0;
+  for (const PlacementParam& p : *q.params) {
+    // Outputs allocate on the worker too, so needs_data does not matter;
+    // holding an up-to-date copy is the directory-level proxy for "already
+    // allocated there".
+    if (!q.directory->holders(p.array).worker(w)) incoming += p.bytes;
+  }
+  return (*q.resident)[w] + incoming <= q.mem_budget;
+}
 
 const char* to_string(PolicyKind k) {
   switch (k) {
@@ -67,7 +96,7 @@ double exploration_threshold(ExplorationLevel e) {
 
 std::size_t RoundRobinPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
-  return next_alive_rr(q, cursor_);
+  return next_placement_rr(q, cursor_);
 }
 
 // ---------------------------------------------------------------------------
@@ -84,10 +113,19 @@ VectorStepPolicy::VectorStepPolicy(std::vector<std::uint32_t> steps) : steps_{st
 std::size_t VectorStepPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
   // A dead node forfeits the remainder of its step budget: skip to the next
-  // vector entry and node until a live one comes up.
+  // vector entry and node until a live one comes up. An over-budget node is
+  // skipped the same way, but only while some live node passes the
+  // admission check — the CE must land somewhere.
+  bool any_admissible = false;
+  for (std::size_t w = 0; w < q.workers; ++w) {
+    if (placement_alive(q, w) && placement_admissible(q, w)) {
+      any_admissible = true;
+      break;
+    }
+  }
   for (std::size_t skipped = 0; skipped <= q.workers; ++skipped) {
     const std::size_t node = node_cursor_ % q.workers;
-    if (placement_alive(q, node)) {
+    if (placement_alive(q, node) && (!any_admissible || placement_admissible(q, node))) {
       if (++step_count_ >= steps_[step_index_]) {
         step_count_ = 0;
         step_index_ = (step_index_ + 1) % steps_.size();
@@ -129,12 +167,16 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
   }
 
   // Pure-output CEs carry no locality signal: explore.
-  if (total_input == 0) return next_alive_rr(q, rr_cursor_);
+  if (total_input == 0) return next_placement_rr(q, rr_cursor_);
 
   double best_cost = std::numeric_limits<double>::infinity();
   std::size_t best_node = q.workers;  // sentinel: none viable yet
   for (std::size_t w = 0; w < q.workers; ++w) {
     if (!placement_alive(q, w)) continue;
+    // Capacity admission: a worker whose post-placement footprint exceeds
+    // budget is not viable for exploitation (the fallback still reaches it
+    // when every node is over budget).
+    if (!placement_admissible(q, w)) continue;
     Bytes available = 0;
     double cost = 0.0;
     bool reachable = true;
@@ -182,7 +224,7 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
 
   if (best_node == q.workers) {
     // Nothing viable: fall back to round-robin (exploration).
-    return next_alive_rr(q, rr_cursor_);
+    return next_placement_rr(q, rr_cursor_);
   }
   return best_node;
 }
@@ -193,8 +235,13 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
 
 std::size_t RandomPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
-  // Rejection-sample to stay uniform over survivors; fall back to a linear
-  // scan when the live fraction is tiny.
+  // Rejection-sample to stay uniform over survivors — preferring workers
+  // that pass the capacity admission check; fall back to a linear scan when
+  // the live fraction is tiny.
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::size_t node = rng_.next_below(q.workers);
+    if (placement_alive(q, node) && placement_admissible(q, node)) return node;
+  }
   for (int tries = 0; tries < 64; ++tries) {
     const std::size_t node = rng_.next_below(q.workers);
     if (placement_alive(q, node)) return node;
@@ -211,15 +258,22 @@ std::size_t RandomPolicy::assign(const PlacementQuery& q) {
 std::size_t LeastOutstandingPolicy::assign(const PlacementQuery& q) {
   GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
   if (q.outstanding == nullptr || q.outstanding->size() != q.workers) {
-    return next_alive_rr(q, rr_cursor_);
+    return next_placement_rr(q, rr_cursor_);
   }
   GROUT_CHECK(alive_count(q) > 0, "no live worker to schedule on");
-  std::size_t best = q.workers;
-  for (std::size_t w = 0; w < q.workers; ++w) {
-    if (!placement_alive(q, w)) continue;
-    if (best == q.workers || (*q.outstanding)[w] < (*q.outstanding)[best]) best = w;
+  // Two passes: lightest admissible worker first, lightest live worker when
+  // every node is over budget.
+  for (const bool require_admissible : {true, false}) {
+    std::size_t best = q.workers;
+    for (std::size_t w = 0; w < q.workers; ++w) {
+      if (!placement_alive(q, w)) continue;
+      if (require_admissible && !placement_admissible(q, w)) continue;
+      if (best == q.workers || (*q.outstanding)[w] < (*q.outstanding)[best]) best = w;
+    }
+    if (best != q.workers) return best;
   }
-  return best;
+  GROUT_CHECK(false, "no live worker to schedule on");
+  return 0;
 }
 
 // ---------------------------------------------------------------------------

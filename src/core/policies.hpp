@@ -64,12 +64,26 @@ struct PlacementQuery {
   /// Liveness per worker (null = everyone alive). Policies must never place
   /// a CE on a dead worker.
   const std::vector<bool>* alive{nullptr};
+  /// Resident replica bytes per worker (the memory governor's accounting;
+  /// null = untracked) and the per-worker budget (0 = unbounded). Together
+  /// they drive the capacity admission check.
+  const std::vector<Bytes>* resident{nullptr};
+  Bytes mem_budget{0};
 };
 
 /// True when worker `w` is eligible for placement under `q`.
 inline bool placement_alive(const PlacementQuery& q, std::size_t w) {
   return q.alive == nullptr || w >= q.alive->size() || (*q.alive)[w];
 }
+
+/// Capacity admission check: true when placing the CE on `w` keeps its
+/// replica cache within budget (estimated from the directory: every param
+/// the worker does not already hold must be allocated there). Mirrors the
+/// exploration viability threshold, but for capacity. Always true when no
+/// governor accounting is present. Policies *prefer* admissible workers;
+/// when no worker is admissible the CE still runs somewhere and the
+/// governor evicts to make room.
+bool placement_admissible(const PlacementQuery& q, std::size_t w);
 
 class InterNodePolicy {
  public:

@@ -56,6 +56,7 @@ ArrayId UvmSpace::alloc(Bytes bytes, std::string name) {
 
 void UvmSpace::free_array(ArrayId id) {
   ArrayInfo& arr = array_ref(id);
+  GROUT_REQUIRE(arr.live, "double free of managed array");
   for (std::uint32_t p = 0; p < arr.pages.size(); ++p) {
     PageState& st = arr.pages[p];
     for (DeviceId d = 0; d < static_cast<DeviceId>(devices_.size()); ++d) {

@@ -47,6 +47,7 @@ struct Options {
   std::size_t iterations = 0;  // 0 = workload default
   bool shared_matrix = false;
   std::string eviction = "lru";
+  std::optional<double> worker_mem_gib;  // per-worker replica budget; 0 = unbounded
   std::string format = "text";  // text | markdown | csv
   std::optional<std::string> trace_path;
   net::FaultPlan fault_plan;
@@ -69,6 +70,9 @@ struct Options {
                "  --iterations <n>                (default: per workload)\n"
                "  --shared-matrix                 (MV: one shared allocation)\n"
                "  --eviction lru|fifo|random      (default lru)\n"
+               "  --worker-mem <gib>              (per-worker replica-cache budget;\n"
+               "                                   0 = unbounded; default: node GPU\n"
+               "                                   memory x headroom)\n"
                "  --format text|markdown|csv      (sweep/policies output)\n"
                "  --trace <file.json>             (chrome://tracing output)\n"
                "  --fault-plan <spec>             (grout backend; ','/';'-separated:\n"
@@ -165,6 +169,9 @@ Options parse_args(int argc, char** argv) {
       opt.shared_matrix = true;
     } else if (flag == "--eviction") {
       opt.eviction = next();
+    } else if (flag == "--worker-mem") {
+      opt.worker_mem_gib = std::stod(next());
+      if (*opt.worker_mem_gib < 0.0) usage("--worker-mem must be >= 0");
     } else if (flag == "--format") {
       opt.format = next();
       if (opt.format != "text" && opt.format != "markdown" && opt.format != "csv") {
@@ -226,6 +233,9 @@ polyglot::Context make_context(const Options& opt, const std::string& backend) {
   cfg.exploration = opt.exploration;
   cfg.run_cap = SimTime::from_seconds(9000.0);
   cfg.fault_plan = opt.fault_plan;
+  if (opt.worker_mem_gib) {
+    cfg.worker_mem = static_cast<Bytes>(*opt.worker_mem_gib * 1073741824.0);
+  }
   return polyglot::Context::grout(std::move(cfg));
 }
 
@@ -273,6 +283,22 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
                   static_cast<unsigned long long>(m.control_timeouts),
                   static_cast<unsigned long long>(m.control_retries));
     }
+    std::printf("memory governor:\n");
+    std::printf("  budget/worker:   %s\n", m.worker_mem_budget == 0
+                                               ? "unbounded"
+                                               : format_bytes(m.worker_mem_budget).c_str());
+    std::printf("  evictions:       %llu (%s), %llu spills (%s), %llu refetches\n",
+                static_cast<unsigned long long>(m.evictions),
+                format_bytes(m.bytes_evicted).c_str(),
+                static_cast<unsigned long long>(m.spills),
+                format_bytes(m.bytes_spilled).c_str(),
+                static_cast<unsigned long long>(m.refetches));
+    std::printf("  resident:       ");
+    for (std::size_t w = 0; w < m.worker_resident.size(); ++w) {
+      std::printf(" w%zu=%s (peak %s)", w, format_bytes(m.worker_resident[w]).c_str(),
+                  format_bytes(m.worker_high_water[w]).c_str());
+    }
+    std::printf("\n");
     std::printf("uvm:\n");
     std::printf("  fetched %s, written back %s, %llu evictions, %llu/%llu storm kernels\n",
                 format_bytes(stats.bytes_fetched).c_str(),
