@@ -7,20 +7,44 @@
 // policies (round-robin, vector-step) are flat and well under 30 us; the
 // min-transfer-* policies grow with the node count up to ~hundreds of
 // microseconds at 256 nodes.
+//
+// Three bench families, all emitted into BENCH_sched.json:
+//   bench_*            — policy decision + CE marshalling (the original
+//                        Figure 9 path), plus bench_*_prepr running the
+//                        pre-fast-path oracle implementations from
+//                        tests/support/naive_oracles.hpp so the speedup is
+//                        measured against the old code in the same build.
+//   bench_launch_*     — the full GroutRuntime::launch() path (DAG insert,
+//                        placement, movement planning, marshalling) with
+//                        the simulation drained off the timed path.
+//   bench_dag_*        — Global-DAG insertion cost alone under stress
+//                        shapes (long chains, wide fan-out, random mixed)
+//                        from 1k to >100k CEs; per-item time must stay
+//                        flat as the program grows.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/grout_runtime.hpp"
 #include "core/policies.hpp"
+#include "dag/dependency_dag.hpp"
 #include "net/fabric.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
+#include "tests/support/naive_oracles.hpp"
 
 namespace {
 
 using namespace grout;
+
+// ---------------------------------------------------------------------------
+// Policy decision + marshalling (the isolated Figure 9 path)
+// ---------------------------------------------------------------------------
 
 /// Synthetic controller state: W workers, a directory of arrays whose
 /// copies are scattered across the cluster, and the probed bandwidth
@@ -107,6 +131,27 @@ void bench_min_time(benchmark::State& s) {
   run_policy_bench(s, core::PolicyKind::MinTransferTime);
 }
 
+/// Same measured path, but through the pre-fast-path oracle policy (the
+/// original per-candidate-worker loop probing the override map per pair).
+/// The fast-path speedup is bench_min_*_prepr / bench_min_* at equal node
+/// counts, measured in one build.
+void run_oracle_policy_bench(benchmark::State& state, bool by_time) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  Fixture fixture(workers);
+  oracle::OracleMinTransferPolicy policy(by_time, core::ExplorationLevel::Medium);
+  std::vector<std::byte> wire;
+  std::size_t ce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.assign(fixture.query(ce)));
+    benchmark::DoNotOptimize(net::encode_ce(fixture.specs[ce % fixture.specs.size()], wire));
+    ++ce;
+  }
+  state.SetLabel(by_time ? "min-transfer-time (pre-PR)" : "min-transfer-size (pre-PR)");
+}
+
+void bench_min_size_prepr(benchmark::State& s) { run_oracle_policy_bench(s, false); }
+void bench_min_time_prepr(benchmark::State& s) { run_oracle_policy_bench(s, true); }
+
 void node_counts(benchmark::internal::Benchmark* b) {
   for (const int n : {2, 4, 8, 16, 32, 64, 128, 256}) b->Arg(n);
 }
@@ -115,6 +160,187 @@ BENCHMARK(bench_round_robin)->Apply(node_counts);
 BENCHMARK(bench_vector_step)->Apply(node_counts);
 BENCHMARK(bench_min_size)->Apply(node_counts);
 BENCHMARK(bench_min_time)->Apply(node_counts);
+BENCHMARK(bench_min_size_prepr)->Apply(node_counts);
+BENCHMARK(bench_min_time_prepr)->Apply(node_counts);
+
+// ---------------------------------------------------------------------------
+// Full launch() path: DAG insertion + placement + movement planning +
+// marshalling, against a live (but drained-off-the-clock) cluster.
+// ---------------------------------------------------------------------------
+
+/// Launches rotate over 32 synthetic 4-param CEs (3 reads, 1 write) across
+/// 64 arrays. The event loop is drained every 512 launches with timing
+/// paused, so the measurement isolates the controller's per-CE work.
+void run_launch_bench(benchmark::State& state, core::PolicyKind kind) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  core::GroutConfig cfg;
+  cfg.cluster.workers = workers;
+  cfg.cluster.worker_node.gpu_count = 2;
+  cfg.policy = kind;
+  cfg.step_vector = {1, 2, 3};
+  cfg.run_cap = SimTime::from_seconds(1e8);
+  cfg.worker_mem = Bytes{0};  // unbounded replica caches: no governor noise
+  core::GroutRuntime rt(std::move(cfg));
+
+  Rng rng(0xf19u);
+  constexpr std::size_t kArrays = 64;
+  std::vector<core::GlobalArrayId> arrays;
+  arrays.reserve(kArrays);
+  for (std::size_t a = 0; a < kArrays; ++a) {
+    arrays.push_back(rt.alloc(16_MiB, "a" + std::to_string(a)));
+    rt.host_init(arrays.back());
+  }
+  std::vector<gpusim::KernelLaunchSpec> specs;
+  for (std::size_t i = 0; i < 32; ++i) {
+    gpusim::KernelLaunchSpec spec;
+    spec.name = "synthetic-kernel";
+    spec.flops = 1e7;
+    for (int p = 0; p < 4; ++p) {
+      const auto array = arrays[rng.next_below(kArrays)];
+      spec.params.push_back(uvm::ParamAccess{
+          array, uvm::ByteRange{},
+          p != 3 ? uvm::AccessMode::Read : uvm::AccessMode::Write,
+          uvm::StreamingPattern{}});
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::size_t ce = 0;
+  std::size_t since_drain = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.launch(specs[ce % specs.size()]));
+    ++ce;
+    if (++since_drain >= 512) {
+      state.PauseTiming();
+      if (!rt.synchronize()) state.SkipWithError("run cap expired during drain");
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetLabel(to_string(kind));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_launch_round_robin(benchmark::State& s) {
+  run_launch_bench(s, core::PolicyKind::RoundRobin);
+}
+void bench_launch_vector_step(benchmark::State& s) {
+  run_launch_bench(s, core::PolicyKind::VectorStep);
+}
+void bench_launch_min_size(benchmark::State& s) {
+  run_launch_bench(s, core::PolicyKind::MinTransferSize);
+}
+void bench_launch_min_time(benchmark::State& s) {
+  run_launch_bench(s, core::PolicyKind::MinTransferTime);
+}
+
+BENCHMARK(bench_launch_round_robin)->Apply(node_counts);
+BENCHMARK(bench_launch_vector_step)->Apply(node_counts);
+BENCHMARK(bench_launch_min_size)->Apply(node_counts);
+BENCHMARK(bench_launch_min_time)->Apply(node_counts);
+
+// ---------------------------------------------------------------------------
+// DAG-stress: Global-DAG insertion cost alone, 1k to >100k CEs. items/s in
+// the output is insertions per second; flat per-item time across the Arg
+// range is the acceptance criterion (insertion must not degrade as the
+// program grows).
+// ---------------------------------------------------------------------------
+
+using Stream = std::vector<std::vector<dag::AccessSummary>>;
+
+/// CE i reads the previous chain array and writes the next (rolling over
+/// 64 arrays, so rewrites — and their redundant-edge filtering — are in
+/// steady state well before the 1k mark): maximal dependency depth, one
+/// kept edge per CE.
+Stream chain_stream(std::size_t n) {
+  Stream s;
+  s.reserve(n);
+  s.push_back({dag::AccessSummary{0, true}});
+  for (std::size_t i = 1; i < n; ++i) {
+    s.push_back({dag::AccessSummary{static_cast<uvm::ArrayId>((i - 1) % 64), false},
+                 dag::AccessSummary{static_cast<uvm::ArrayId>(i % 64), true}});
+  }
+  return s;
+}
+
+/// Blocks of one writer + 255 readers over 64 rotating arrays: every
+/// rewrite faces a 255-entry WAR candidate list.
+Stream fanout_stream(std::size_t n) {
+  Stream s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto array = static_cast<uvm::ArrayId>((i / 256) % 64);
+    s.push_back({dag::AccessSummary{array, i % 256 == 0}});
+  }
+  return s;
+}
+
+/// Random 3-reads + 1-write CEs over 128 arrays (the launch-bench shape
+/// without the runtime around it; every array is rewritten every ~128 CEs,
+/// so steady state is reached before the smallest Arg).
+Stream mixed_stream(std::size_t n) {
+  Rng rng(0xda6u);
+  Stream s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<dag::AccessSummary> accesses;
+    for (int p = 0; p < 4; ++p) {
+      accesses.push_back(
+          dag::AccessSummary{static_cast<uvm::ArrayId>(rng.next_below(128)), p == 3});
+    }
+    s.push_back(std::move(accesses));
+  }
+  return s;
+}
+
+void run_dag_bench(benchmark::State& state, Stream (*gen)(std::size_t)) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Stream stream = gen(n);
+  for (auto _ : state) {
+    dag::DependencyDag dag;
+    for (const auto& accesses : stream) {
+      benchmark::DoNotOptimize(dag.add("ce", accesses));
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void bench_dag_chain(benchmark::State& s) { run_dag_bench(s, chain_stream); }
+void bench_dag_fanout(benchmark::State& s) { run_dag_bench(s, fanout_stream); }
+void bench_dag_mixed(benchmark::State& s) { run_dag_bench(s, mixed_stream); }
+
+/// Pre-fast-path DAG (pairwise filter_redundant, unbounded reader lists).
+/// Quadratic — only run at sizes where it terminates in reasonable time;
+/// compare per-item times against bench_dag_* at equal Args.
+void run_naive_dag_bench(benchmark::State& state, Stream (*gen)(std::size_t)) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Stream stream = gen(n);
+  for (auto _ : state) {
+    oracle::NaiveDag dag;
+    for (const auto& accesses : stream) {
+      benchmark::DoNotOptimize(dag.add(accesses));
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel("pre-PR");
+}
+
+void bench_dag_chain_prepr(benchmark::State& s) { run_naive_dag_bench(s, chain_stream); }
+void bench_dag_mixed_prepr(benchmark::State& s) { run_naive_dag_bench(s, mixed_stream); }
+
+void dag_sizes(benchmark::internal::Benchmark* b) {
+  for (const int n : {1 << 10, 1 << 14, 1 << 17}) b->Arg(n);
+}
+
+BENCHMARK(bench_dag_chain)->Apply(dag_sizes);
+BENCHMARK(bench_dag_fanout)->Apply(dag_sizes);
+BENCHMARK(bench_dag_mixed)->Apply(dag_sizes);
+BENCHMARK(bench_dag_chain_prepr)->Arg(1 << 10)->Arg(1 << 12);
+BENCHMARK(bench_dag_mixed_prepr)->Arg(1 << 10)->Arg(1 << 12);
 
 }  // namespace
 

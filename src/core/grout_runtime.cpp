@@ -83,7 +83,7 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
   rec.spec = std::move(spec);
   rec.done = gpusim::make_event();
   records_.emplace(v, std::move(rec));
-  pending_.push_back(records_.at(v).done);
+  track_pending(records_.at(v).done);
 
   dispatch(v);
 
@@ -154,9 +154,10 @@ void GroutRuntime::dispatch(dag::VertexId v) {
 
   // 3. Marshal the CE and send it to the worker over the control lane; the
   //    worker-side execution is gated on the message's arrival. The control
-  //    lane retries dropped attempts with exponential backoff.
-  std::vector<std::byte> wire;
-  const Bytes message_bytes = net::encode_ce(spec, wire);
+  //    lane retries dropped attempts with exponential backoff. The wire
+  //    buffer is a member reused across dispatches (encode_ce resets it; no
+  //    nested dispatch survives to this point, so reuse is safe).
+  const Bytes message_bytes = net::encode_ce(spec, wire_buffer_);
   gpusim::EventPtr ce_arrival = cluster_->fabric().send_control(
       cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), message_bytes);
 
@@ -179,7 +180,16 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   }
   runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
   sub.done->on_complete([this, v, attempt] { on_ce_complete(v, attempt); });
-  pending_.push_back(sub.done);
+  track_pending(std::move(sub.done));
+}
+
+void GroutRuntime::track_pending(gpusim::EventPtr event) {
+  pending_.push_back(std::move(event));
+  if (pending_.size() < pending_sweep_at_) return;
+  std::erase_if(pending_, [](const gpusim::EventPtr& e) { return e->completed(); });
+  // Double the trigger from the surviving size so the amortized sweep cost
+  // per tracked event stays O(1) even when nothing ever completes.
+  pending_sweep_at_ = std::max<std::size_t>(64, pending_.size() * 2);
 }
 
 void GroutRuntime::on_ce_complete(dag::VertexId v, std::uint32_t attempt) {
@@ -285,7 +295,7 @@ void GroutRuntime::replay_vertex(dag::VertexId v) {
   rec.spec = std::move(spec);
   rec.done = gpusim::make_event();
   records_.emplace(rv, std::move(rec));
-  pending_.push_back(records_.at(rv).done);
+  track_pending(records_.at(rv).done);
   ++metrics_.ces_replayed;
   dispatch(rv);
 }
@@ -297,6 +307,9 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   cluster::Worker& dst = cluster_->worker(worker);
   const net::NodeId dst_fid = cluster::Cluster::worker_fabric_id(worker);
   const LocationSet& holders = directory_.holders(id);
+  // Transfer labels exist only for the tracer; skip the string building on
+  // every movement when tracing is off.
+  const bool tracing = cluster_->tracer().enabled();
 
   gpusim::EventPtr transfer_done;
   if (holders.controller() &&
@@ -307,8 +320,9 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
     // until that spill lands.
     transfer_done = cluster_->fabric().transfer(cluster::Cluster::controller_id(), dst_fid,
                                                 param.bytes,
-                                                "ctl->" + std::to_string(worker) + ":" +
-                                                    directory_.name_of(id),
+                                                tracing ? "ctl->" + std::to_string(worker) +
+                                                              ":" + directory_.name_of(id)
+                                                        : std::string{},
                                                 governor_->controller_ready(id));
     ++metrics_.controller_sends;
   } else {
@@ -340,8 +354,9 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
     runtime::Submission staged = cluster_->worker(best).stage_send(id);
     transfer_done = cluster_->fabric().transfer(
         cluster::Cluster::worker_fabric_id(best), dst_fid, param.bytes,
-        "p2p" + std::to_string(best) + "->" + std::to_string(worker) + ":" +
-            directory_.name_of(id),
+        tracing ? "p2p" + std::to_string(best) + "->" + std::to_string(worker) + ":" +
+                      directory_.name_of(id)
+                : std::string{},
         staged.done);
     MemoryGovernor* gov = governor_.get();
     transfer_done->on_complete([gov, best, id] { gov->unpin(best, id); });
@@ -350,7 +365,7 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   metrics_.bytes_planned += param.bytes;
 
   runtime::Submission arrival = dst.accept_receive(id, transfer_done);
-  pending_.push_back(arrival.done);
+  track_pending(arrival.done);
   directory_.add_worker_copy(id, worker);
   return arrival.done;
 }
@@ -407,7 +422,9 @@ bool GroutRuntime::host_fetch(GlobalArrayId array) {
   runtime::Submission staged = cluster_->worker(best).stage_send(array);
   gpusim::EventPtr landed = cluster_->fabric().transfer(
       cluster::Cluster::worker_fabric_id(best), cluster::Cluster::controller_id(),
-      directory_.bytes_of(array), "fetch:" + directory_.name_of(array), staged.done);
+      directory_.bytes_of(array),
+      cluster_->tracer().enabled() ? "fetch:" + directory_.name_of(array) : std::string{},
+      staged.done);
   {
     MemoryGovernor* gov = governor_.get();
     landed->on_complete([gov, best, array] { gov->unpin(best, array); });

@@ -15,6 +15,7 @@
 // advance the virtual clock.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -155,6 +156,10 @@ class GroutRuntime {
   bool wait_controller_copy(GlobalArrayId array);
   /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
   static std::vector<GlobalArrayId> unique_arrays(const gpusim::KernelLaunchSpec& spec);
+  /// Record a completion event in `pending_`, sweeping out already-completed
+  /// entries whenever the list doubles so long programs hold O(in-flight)
+  /// events instead of one per CE/transfer for the life of the run.
+  void track_pending(gpusim::EventPtr event);
 
   GroutConfig config_;
   std::unique_ptr<cluster::Cluster> cluster_;
@@ -163,8 +168,12 @@ class GroutRuntime {
   dag::DependencyDag global_dag_;
   std::unique_ptr<InterNodePolicy> policy_;
   SchedulerMetrics metrics_;
-  /// Completion events of all submitted CEs (for synchronize()).
+  /// Completion events of submitted CEs and transfers still in flight;
+  /// completed entries are pruned by track_pending's periodic sweep.
   std::vector<gpusim::EventPtr> pending_;
+  std::size_t pending_sweep_at_{64};  ///< next pending_ size triggering a sweep
+  /// CE wire buffer reused across dispatches (encode_ce resets it).
+  std::vector<std::byte> wire_buffer_;
   /// Device-agnostic advises to apply to worker-local allocations.
   std::unordered_map<GlobalArrayId, uvm::Advise> advises_;
   /// Dispatch records by Global-DAG vertex (reference-stable map).

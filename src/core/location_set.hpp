@@ -1,8 +1,16 @@
 // Set of cluster locations (controller + workers) holding an up-to-date
 // copy of an array.
+//
+// Worker membership is a packed 64-bit-word bitmask so the placement
+// policies can test and enumerate holders without touching one bool per
+// worker: `worker()` is a bit test, `for_each_worker` walks set bits via
+// countr_zero, and `holder_count` is a popcount — all O(W/64 + holders)
+// rather than O(W) per probe loop.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -11,60 +19,78 @@ namespace grout::core {
 
 class LocationSet {
  public:
-  explicit LocationSet(std::size_t workers = 0) : workers_(workers, false) {}
+  explicit LocationSet(std::size_t workers = 0)
+      : slots_{workers}, words_((workers + 63) / 64, 0) {}
 
-  [[nodiscard]] std::size_t worker_slots() const { return workers_.size(); }
+  [[nodiscard]] std::size_t worker_slots() const { return slots_; }
 
   [[nodiscard]] bool controller() const { return controller_; }
   [[nodiscard]] bool worker(std::size_t i) const {
-    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
-    return workers_[i];
+    GROUT_REQUIRE(i < slots_, "worker index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
   void add_controller() { controller_ = true; }
   void add_worker(std::size_t i) {
-    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
-    workers_[i] = true;
+    GROUT_REQUIRE(i < slots_, "worker index out of range");
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
   }
   /// Forget a worker's copy (e.g. the worker died). May leave the set
   /// empty; the caller is responsible for restoring the holder invariant.
   void remove_worker(std::size_t i) {
-    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
-    workers_[i] = false;
+    GROUT_REQUIRE(i < slots_, "worker index out of range");
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
 
   /// Exclusive ownership after a write.
   void reset_to_controller() {
     controller_ = true;
-    workers_.assign(workers_.size(), false);
+    words_.assign(words_.size(), 0);
   }
   void reset_to_worker(std::size_t i) {
-    GROUT_REQUIRE(i < workers_.size(), "worker index out of range");
+    GROUT_REQUIRE(i < slots_, "worker index out of range");
     controller_ = false;
-    workers_.assign(workers_.size(), false);
-    workers_[i] = true;
+    words_.assign(words_.size(), 0);
+    words_[i >> 6] = std::uint64_t{1} << (i & 63);
   }
 
   [[nodiscard]] std::size_t holder_count() const {
     std::size_t n = controller_ ? 1 : 0;
-    for (const bool w : workers_) n += w ? 1 : 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
     return n;
   }
 
-  [[nodiscard]] bool any() const { return holder_count() > 0; }
+  [[nodiscard]] bool any() const {
+    if (controller_) return true;
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Visit every worker holder in ascending order without allocating.
+  template <typename Fn>
+  void for_each_worker(Fn&& fn) const {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      std::uint64_t m = words_[k];
+      while (m != 0) {
+        fn(k * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+        m &= m - 1;
+      }
+    }
+  }
 
   /// Worker holders, ascending.
   [[nodiscard]] std::vector<std::size_t> worker_holders() const {
     std::vector<std::size_t> out;
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-      if (workers_[i]) out.push_back(i);
-    }
+    for_each_worker([&out](std::size_t i) { out.push_back(i); });
     return out;
   }
 
  private:
   bool controller_{false};
-  std::vector<bool> workers_;
+  std::size_t slots_{0};
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace grout::core

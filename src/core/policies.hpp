@@ -132,6 +132,14 @@ class MinTransferPolicy final : public InterNodePolicy {
   bool by_time_;
   double threshold_;
   std::size_t rr_cursor_{0};  ///< exploration fallback state
+  // Per-CE scratch reused across assign() calls (no steady-state
+  // allocation): input params, their holder sets, the best-source bps per
+  // (param, destination worker) for the time variant, and the per-worker
+  // resident input bytes for the size variant.
+  std::vector<const PlacementParam*> input_params_;
+  std::vector<const LocationSet*> holder_sets_;
+  std::vector<double> best_bps_;
+  std::vector<Bytes> avail_bytes_;
 };
 
 class RandomPolicy final : public InterNodePolicy {

@@ -33,6 +33,7 @@ VertexId DependencyDag::add(std::string label, std::vector<AccessSummary> access
   vertex.accesses = accesses;
   vertex.ancestors = ancestors;
   vertices_.push_back(std::move(vertex));
+  visited_epoch_.push_back(0);
 
   for (const VertexId a : ancestors) {
     vertices_[a].successors.push_back(v);
@@ -45,8 +46,18 @@ VertexId DependencyDag::add(std::string label, std::vector<AccessSummary> access
     if (a.write) {
       track.last_writer = v;
       track.readers_since_write.clear();
+      track.reader_compact_at = kReaderCompactMin;
     } else {
       track.readers_since_write.push_back(v);
+      if (track.readers_since_write.size() >= track.reader_compact_at) {
+        // Drop readers reachable from a later reader: a future writer's
+        // WAR edge to them would be filtered as redundant anyway, so the
+        // final edge set is unchanged. Keeps the list proportional to the
+        // array's *concurrent* reader width instead of its full history.
+        track.readers_since_write = filter_redundant(std::move(track.readers_since_write));
+        track.reader_compact_at =
+            std::max(kReaderCompactMin, 2 * track.readers_since_write.size());
+      }
     }
   }
   return v;
@@ -72,16 +83,21 @@ std::vector<VertexId> DependencyDag::frontier() const {
 bool DependencyDag::is_ancestor(VertexId ancestor, VertexId v) const {
   GROUT_REQUIRE(ancestor < vertices_.size() && v < vertices_.size(), "unknown vertex");
   if (ancestor >= v) return false;  // edges only point forward in insertion order
-  // DFS along direct ancestors; vertex ids are insertion-ordered so the
-  // search space is bounded by v's ancestry.
-  std::vector<VertexId> stack{v};
-  std::unordered_set<VertexId> visited;
-  while (!stack.empty()) {
-    const VertexId cur = stack.back();
-    stack.pop_back();
+  // DFS along direct ancestors over the epoch-stamped scratch: no per-call
+  // allocation, and vertex ids are insertion-ordered so the search space is
+  // bounded by the ancestry between `ancestor` and `v`.
+  const std::uint64_t epoch = ++epoch_;
+  dfs_stack_.clear();
+  dfs_stack_.push_back(v);
+  while (!dfs_stack_.empty()) {
+    const VertexId cur = dfs_stack_.back();
+    dfs_stack_.pop_back();
     for (const VertexId a : vertices_[cur].ancestors) {
       if (a == ancestor) return true;
-      if (a > ancestor && visited.insert(a).second) stack.push_back(a);
+      if (a > ancestor && visited_epoch_[a] != epoch) {
+        visited_epoch_[a] = epoch;
+        dfs_stack_.push_back(a);
+      }
     }
   }
   return false;
@@ -118,18 +134,39 @@ std::string DependencyDag::to_dot(
 
 std::vector<VertexId> DependencyDag::filter_redundant(std::vector<VertexId> candidates) const {
   if (candidates.size() <= 1) return candidates;
-  std::vector<VertexId> kept;
-  kept.reserve(candidates.size());
-  for (const VertexId a : candidates) {
-    bool dominated = false;
-    for (const VertexId b : candidates) {
-      if (a != b && is_ancestor(a, b)) {
-        // Waiting on b transitively waits on a: the a-edge is redundant.
-        dominated = true;
-        break;
+  // One multi-source reverse DFS replaces the old pairwise is_ancestor
+  // probes: every vertex reachable from a candidate via >= 1 edge is
+  // marked, and a marked candidate is dominated (waiting on the candidate
+  // that reached it transitively waits on the marked one). Edges point
+  // strictly backward in insertion order, so no walk can re-enter its own
+  // source, and everything below the smallest candidate is pruned — the
+  // cost is bounded by the edges between that candidate and the insertion
+  // point, not by the DAG's size.
+  const VertexId floor = candidates.front();  // callers pass sorted ids
+  const std::uint64_t epoch = ++epoch_;
+  dfs_stack_.clear();
+  for (const VertexId c : candidates) {
+    for (const VertexId a : vertices_[c].ancestors) {
+      if (a >= floor && visited_epoch_[a] != epoch) {
+        visited_epoch_[a] = epoch;
+        dfs_stack_.push_back(a);
       }
     }
-    if (!dominated) kept.push_back(a);
+  }
+  while (!dfs_stack_.empty()) {
+    const VertexId cur = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    for (const VertexId a : vertices_[cur].ancestors) {
+      if (a >= floor && visited_epoch_[a] != epoch) {
+        visited_epoch_[a] = epoch;
+        dfs_stack_.push_back(a);
+      }
+    }
+  }
+  std::vector<VertexId> kept;
+  kept.reserve(candidates.size());
+  for (const VertexId c : candidates) {
+    if (visited_epoch_[c] != epoch) kept.push_back(c);
   }
   return kept;
 }

@@ -85,19 +85,36 @@ class DependencyDag {
   struct ArrayTrack {
     VertexId last_writer{kNoVertex};
     std::vector<VertexId> readers_since_write;
+    /// Next readers_since_write size at which the list is compacted by
+    /// dropping readers already reachable from a later reader (their WAR
+    /// edge would be filtered as redundant anyway). Doubles after each
+    /// compaction so the amortized cost per reader stays O(1).
+    std::size_t reader_compact_at{kReaderCompactMin};
   };
+
+  static constexpr std::size_t kReaderCompactMin = 64;
 
   const Vertex& vertex_ref(VertexId v) const {
     GROUT_REQUIRE(v < vertices_.size(), "unknown vertex");
     return vertices_[v];
   }
 
-  /// Drop candidates that are reachable from another candidate.
+  /// Drop candidates (sorted ascending) that are reachable from another
+  /// candidate. One multi-source reverse DFS over the shared scratch
+  /// buffers — no per-call allocation, cost bounded by the edges between
+  /// the smallest candidate and the insertion point.
   std::vector<VertexId> filter_redundant(std::vector<VertexId> candidates) const;
 
   std::vector<Vertex> vertices_;
   std::unordered_map<uvm::ArrayId, ArrayTrack> per_array_;
   std::size_t edges_{0};
+
+  // Epoch-stamped scratch reused by is_ancestor/filter_redundant. Bumping
+  // the epoch invalidates all marks at once, so queries never clear or
+  // allocate; `mutable` because reachability queries are logically const.
+  mutable std::vector<std::uint64_t> visited_epoch_;
+  mutable std::vector<VertexId> dfs_stack_;
+  mutable std::uint64_t epoch_{0};
 };
 
 }  // namespace grout::dag

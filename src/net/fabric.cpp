@@ -19,10 +19,43 @@ NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::vector<NicSpec> nic
 }
 
 Bandwidth NetworkFabric::bandwidth(NodeId from, NodeId to) const {
+  node_ref(from);
+  node_ref(to);
+  GROUT_REQUIRE(from != to, "self transfer");
+  if (matrix_dirty_) rebuild_matrix();
+  return Bandwidth::bytes_per_sec(
+      bps_matrix_[static_cast<std::size_t>(from) * nodes_.size() +
+                  static_cast<std::size_t>(to)]);
+}
+
+Bandwidth NetworkFabric::bandwidth_uncached(NodeId from, NodeId to) const {
   GROUT_REQUIRE(from != to, "self transfer");
   const auto it = overrides_.find({std::min(from, to), std::max(from, to)});
   if (it != overrides_.end()) return it->second;
   return std::min(node_ref(from).nic.bw, node_ref(to).nic.bw);
+}
+
+const std::vector<double>& NetworkFabric::bandwidth_matrix() const {
+  if (matrix_dirty_) rebuild_matrix();
+  return bps_matrix_;
+}
+
+void NetworkFabric::rebuild_matrix() const {
+  const std::size_t n = nodes_.size();
+  bps_matrix_.assign(n * n, 0.0);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      bps_matrix_[from * n + to] = std::min(nodes_[from].nic.bw, nodes_[to].nic.bw).bps();
+    }
+  }
+  for (const auto& [pair, bw] : overrides_) {
+    const auto a = static_cast<std::size_t>(pair.first);
+    const auto b = static_cast<std::size_t>(pair.second);
+    bps_matrix_[a * n + b] = bw.bps();
+    bps_matrix_[b * n + a] = bw.bps();
+  }
+  matrix_dirty_ = false;
 }
 
 SimTime NetworkFabric::latency(NodeId from, NodeId to) const {
@@ -34,9 +67,13 @@ void NetworkFabric::set_link_override(NodeId a, NodeId b, Bandwidth bw) {
   node_ref(a);
   node_ref(b);
   overrides_[{std::min(a, b), std::max(a, b)}] = bw;
+  matrix_dirty_ = true;
 }
 
-void NetworkFabric::kill_node(NodeId id) { node_ref(id).alive = false; }
+void NetworkFabric::kill_node(NodeId id) {
+  node_ref(id).alive = false;
+  matrix_dirty_ = true;
+}
 
 gpusim::EventPtr NetworkFabric::transfer(NodeId from, NodeId to, Bytes size, std::string label,
                                          gpusim::EventPtr ready) {
@@ -67,7 +104,9 @@ void NetworkFabric::start_transfer(NodeId from, NodeId to, Bytes size, const std
   const SimTime end = std::max(tx_done, rx_done);
   total_bytes_ += size;
   ++transfers_;
-  if (tracer_ != nullptr) {
+  // Guard on enabled() so the name/location strings are never built for a
+  // disabled tracer (record() would just drop them).
+  if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->record(sim::TraceCategory::NetworkTransfer,
                     label.empty() ? "transfer" : label,
                     node_ref(from).nic.name + "->" + node_ref(to).nic.name, begin, end);

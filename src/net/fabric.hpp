@@ -54,7 +54,20 @@ class NetworkFabric {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
   /// Effective bandwidth between two nodes (the interconnection matrix).
+  /// O(1): served from the dense matrix cache.
   [[nodiscard]] Bandwidth bandwidth(NodeId from, NodeId to) const;
+
+  /// Reference implementation of `bandwidth` probing the per-pair override
+  /// map directly (the pre-cache code path). Kept for the differential
+  /// suite and the scheduling-overhead benches; production callers use
+  /// `bandwidth`.
+  [[nodiscard]] Bandwidth bandwidth_uncached(NodeId from, NodeId to) const;
+
+  /// Dense row-major bps matrix over all fabric nodes (entry [from *
+  /// node_count() + to]; diagonal entries are 0). Rebuilt lazily after
+  /// `set_link_override`/`kill_node` invalidate it. The min-transfer-time
+  /// policy reads rows of this directly instead of probing per pair.
+  [[nodiscard]] const std::vector<double>& bandwidth_matrix() const;
 
   /// One-way latency between two nodes.
   [[nodiscard]] SimTime latency(NodeId from, NodeId to) const;
@@ -114,6 +127,7 @@ class NetworkFabric {
                       const gpusim::EventPtr& done);
   void attempt_control(NodeId from, NodeId to, Bytes size, const gpusim::EventPtr& done,
                        SimTime timeout);
+  void rebuild_matrix() const;
   const Node& node_ref(NodeId id) const;
   Node& node_ref(NodeId id);
 
@@ -121,6 +135,10 @@ class NetworkFabric {
   sim::Tracer* tracer_;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, Bandwidth> overrides_;
+  /// Dense bps cache over (from, to); invalidated by set_link_override and
+  /// kill_node, rebuilt on the next query (`mutable`: queries are const).
+  mutable std::vector<double> bps_matrix_;
+  mutable bool matrix_dirty_{true};
   ControlRetryConfig retry_;
   std::function<bool(NodeId, NodeId)> control_fault_hook_;
   SimTime control_extra_delay_{SimTime::zero()};

@@ -1,0 +1,215 @@
+// Naive reference implementations pinned as differential-test oracles.
+//
+// These are verbatim ports of the pre-fast-path controller code:
+//   NaiveDag               — DependencyDag whose filter_redundant runs the
+//                            original O(k^2) pairwise DFS with per-call
+//                            unordered_set allocation, and whose WAR reader
+//                            lists grow without compaction.
+//   OracleMinTransferPolicy — MinTransferPolicy::assign with the original
+//                            O(workers x params x holders) inner loop and
+//                            per-pair bandwidth probes through the override
+//                            map (NetworkFabric::bandwidth_uncached).
+//
+// The production implementations must agree with these exactly — same edge
+// sets, same placements — which the test_*_differential suites assert over
+// randomized inputs. The scheduling-overhead bench also times them so the
+// fast-path speedup is measured against the pre-PR code in the same build.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/policies.hpp"
+#include "dag/dependency_dag.hpp"
+#include "net/topology.hpp"
+
+namespace grout::oracle {
+
+class NaiveDag {
+ public:
+  using VertexId = dag::VertexId;
+
+  VertexId add(std::vector<dag::AccessSummary> accesses) {
+    const VertexId v = vertices_.size();
+    std::vector<VertexId> candidates;
+    for (const dag::AccessSummary& a : accesses) {
+      auto it = per_array_.find(a.array);
+      if (it == per_array_.end()) continue;
+      const ArrayTrack& track = it->second;
+      if (track.last_writer != dag::kNoVertex) candidates.push_back(track.last_writer);
+      if (a.write) {
+        candidates.insert(candidates.end(), track.readers_since_write.begin(),
+                          track.readers_since_write.end());
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+    std::vector<VertexId> ancestors = filter_redundant(candidates);
+
+    Vertex vertex;
+    vertex.ancestors = ancestors;
+    vertices_.push_back(std::move(vertex));
+    edges_ += ancestors.size();
+
+    for (const dag::AccessSummary& a : accesses) {
+      ArrayTrack& track = per_array_[a.array];
+      if (a.write) {
+        track.last_writer = v;
+        track.readers_since_write.clear();
+      } else {
+        track.readers_since_write.push_back(v);
+      }
+    }
+    return v;
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& ancestors(VertexId v) const {
+    return vertices_[v].ancestors;
+  }
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  [[nodiscard]] bool is_ancestor(VertexId ancestor, VertexId v) const {
+    if (ancestor >= v) return false;
+    std::vector<VertexId> stack{v};
+    std::unordered_set<VertexId> visited;
+    while (!stack.empty()) {
+      const VertexId cur = stack.back();
+      stack.pop_back();
+      for (const VertexId a : vertices_[cur].ancestors) {
+        if (a == ancestor) return true;
+        if (a > ancestor && visited.insert(a).second) stack.push_back(a);
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Vertex {
+    std::vector<VertexId> ancestors;
+  };
+  struct ArrayTrack {
+    VertexId last_writer{dag::kNoVertex};
+    std::vector<VertexId> readers_since_write;
+  };
+
+  std::vector<VertexId> filter_redundant(const std::vector<VertexId>& candidates) const {
+    if (candidates.size() <= 1) return candidates;
+    std::vector<VertexId> kept;
+    kept.reserve(candidates.size());
+    for (const VertexId a : candidates) {
+      bool dominated = false;
+      for (const VertexId b : candidates) {
+        if (a != b && is_ancestor(a, b)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) kept.push_back(a);
+    }
+    return kept;
+  }
+
+  std::vector<Vertex> vertices_;
+  std::unordered_map<uvm::ArrayId, ArrayTrack> per_array_;
+  std::size_t edges_{0};
+};
+
+class OracleMinTransferPolicy {
+ public:
+  OracleMinTransferPolicy(bool by_time, double threshold)
+      : by_time_{by_time}, threshold_{threshold} {}
+  OracleMinTransferPolicy(bool by_time, core::ExplorationLevel exploration)
+      : OracleMinTransferPolicy(by_time, core::exploration_threshold(exploration)) {}
+
+  std::size_t assign(const core::PlacementQuery& q) {
+    GROUT_REQUIRE(q.workers > 0, "no workers to schedule on");
+    GROUT_REQUIRE(q.params != nullptr && q.directory != nullptr,
+                  "min-transfer policies need CE parameters and the directory");
+    if (by_time_) {
+      GROUT_REQUIRE(q.fabric != nullptr, "min-transfer-time needs the bandwidth matrix");
+    }
+
+    Bytes total_input = 0;
+    for (const core::PlacementParam& p : *q.params) {
+      if (p.needs_data) total_input += p.bytes;
+    }
+    if (total_input == 0) return next_placement_rr(q);
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_node = q.workers;
+    for (std::size_t w = 0; w < q.workers; ++w) {
+      if (!core::placement_alive(q, w)) continue;
+      if (!core::placement_admissible(q, w)) continue;
+      Bytes available = 0;
+      double cost = 0.0;
+      bool reachable = true;
+      for (const core::PlacementParam& p : *q.params) {
+        if (!p.needs_data) continue;
+        const core::LocationSet& holders = q.directory->holders(p.array);
+        if (holders.worker(w)) {
+          available += p.bytes;
+          continue;
+        }
+        if (by_time_) {
+          const net::NodeId dst = net::worker_node_id(w);
+          double best_bps = 0.0;
+          if (holders.controller()) {
+            best_bps = q.fabric->bandwidth_uncached(net::controller_node_id(), dst).bps();
+          }
+          for (const std::size_t src : holders.worker_holders()) {
+            best_bps = std::max(
+                best_bps, q.fabric->bandwidth_uncached(net::worker_node_id(src), dst).bps());
+          }
+          if (best_bps <= 0.0) {
+            reachable = false;
+            break;
+          }
+          cost += static_cast<double>(p.bytes) / best_bps;
+        } else {
+          cost += static_cast<double>(p.bytes);
+        }
+      }
+      if (!reachable) continue;
+      const double avail_fraction =
+          static_cast<double>(available) / static_cast<double>(total_input);
+      if (avail_fraction + 1e-12 < threshold_) continue;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_node = w;
+      }
+    }
+
+    if (best_node == q.workers) return next_placement_rr(q);
+    return best_node;
+  }
+
+ private:
+  std::size_t next_placement_rr(const core::PlacementQuery& q) {
+    for (std::size_t tried = 0; tried < q.workers; ++tried) {
+      const std::size_t node = (rr_cursor_ + tried) % q.workers;
+      if (core::placement_alive(q, node) && core::placement_admissible(q, node)) {
+        rr_cursor_ = (node + 1) % q.workers;
+        return node;
+      }
+    }
+    for (std::size_t tried = 0; tried < q.workers; ++tried) {
+      const std::size_t node = rr_cursor_;
+      rr_cursor_ = (rr_cursor_ + 1) % q.workers;
+      if (core::placement_alive(q, node)) return node;
+    }
+    GROUT_CHECK(false, "no live worker to schedule on");
+    return 0;
+  }
+
+  bool by_time_;
+  double threshold_;
+  std::size_t rr_cursor_{0};
+};
+
+}  // namespace grout::oracle

@@ -1,0 +1,170 @@
+// Differential tests: the reachability-indexed DependencyDag against the
+// naive pre-fast-path implementation (tests/support/naive_oracles.hpp).
+//
+// The fast path changed three things that must not change observable
+// behavior: filter_redundant runs one multi-source epoch-stamped DFS
+// instead of pairwise probes, is_ancestor reuses scratch buffers, and WAR
+// reader lists are compacted past a threshold. Edge sets and reachability
+// must match the oracle exactly on every stream shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dag/dependency_dag.hpp"
+#include "tests/support/naive_oracles.hpp"
+
+namespace grout::dag {
+namespace {
+
+AccessSummary rd(uvm::ArrayId a) { return AccessSummary{a, false}; }
+AccessSummary wr(uvm::ArrayId a) { return AccessSummary{a, true}; }
+
+/// Feed the same access stream to both implementations; assert identical
+/// per-vertex ancestor sets (the DAG's full edge set) as they grow.
+void expect_equivalent(const std::vector<std::vector<AccessSummary>>& stream) {
+  DependencyDag fast;
+  oracle::NaiveDag naive;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const VertexId fv = fast.add("ce" + std::to_string(i), stream[i]);
+    const VertexId nv = naive.add(stream[i]);
+    ASSERT_EQ(fv, nv);
+    ASSERT_EQ(fast.ancestors(fv), naive.ancestors(nv)) << "edge sets diverge at CE " << i;
+  }
+  EXPECT_EQ(fast.edge_count(), naive.edge_count());
+  EXPECT_TRUE(fast.edges_respect_insertion_order());
+}
+
+/// Random mixed-access stream over `arrays` arrays.
+std::vector<std::vector<AccessSummary>> random_stream(std::uint64_t seed, std::size_t vertices,
+                                                      std::size_t arrays,
+                                                      std::uint32_t write_pct) {
+  Rng rng(seed);
+  std::vector<std::vector<AccessSummary>> stream;
+  stream.reserve(vertices);
+  for (std::size_t i = 0; i < vertices; ++i) {
+    std::set<uvm::ArrayId> used;
+    std::vector<AccessSummary> accesses;
+    const std::size_t n = 1 + rng.next_below(std::min<std::size_t>(arrays, 3));
+    while (used.size() < n) {
+      const auto a = static_cast<uvm::ArrayId>(rng.next_below(arrays));
+      if (used.insert(a).second) {
+        accesses.push_back(AccessSummary{a, rng.next_below(100) < write_pct});
+      }
+    }
+    stream.push_back(std::move(accesses));
+  }
+  return stream;
+}
+
+class DagDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagDifferential, RandomMixedStream1k) {
+  expect_equivalent(random_stream(GetParam(), 1200, 8, 40));
+}
+
+TEST_P(DagDifferential, ReadHeavyStream) {
+  // Few writers, many readers: exercises reader-list compaction (the lists
+  // pass the 64-entry threshold between writes) without changing edges.
+  expect_equivalent(random_stream(GetParam() ^ 0xabcdef, 1500, 3, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagDifferential,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 98765u));
+
+TEST(DagDifferential, LongChain) {
+  // CE i reads CE i-1's output: maximal-depth ancestry, single kept edge.
+  std::vector<std::vector<AccessSummary>> stream;
+  stream.push_back({wr(0)});
+  for (uvm::ArrayId i = 1; i < 1024; ++i) stream.push_back({rd(i - 1), wr(i)});
+  expect_equivalent(stream);
+}
+
+TEST(DagDifferential, RollingChainOverFewArrays) {
+  // Rewrites a small array window so WAW/WAR candidates are always
+  // transitively dominated by the RAW chain.
+  std::vector<std::vector<AccessSummary>> stream;
+  stream.push_back({wr(0)});
+  for (std::size_t i = 1; i < 2000; ++i) {
+    const auto cur = static_cast<uvm::ArrayId>(i % 7);
+    const auto prev = static_cast<uvm::ArrayId>((i - 1) % 7);
+    stream.push_back({rd(prev), wr(cur)});
+  }
+  expect_equivalent(stream);
+}
+
+TEST(DagDifferential, WideFanOutPastCompactionThreshold) {
+  // One writer, 300 independent readers (well past the 64-entry compaction
+  // trigger), then a writer that must depend on every reader.
+  std::vector<std::vector<AccessSummary>> stream;
+  stream.push_back({wr(0)});
+  for (int i = 0; i < 300; ++i) stream.push_back({rd(0)});
+  stream.push_back({wr(0)});
+  expect_equivalent(stream);
+
+  DependencyDag dag;
+  dag.add("init", {wr(0)});
+  for (int i = 0; i < 300; ++i) dag.add("r" + std::to_string(i), {rd(0)});
+  const VertexId barrier = dag.add("barrier", {wr(0)});
+  EXPECT_EQ(dag.ancestors(barrier).size(), 300u);
+}
+
+TEST(DagDifferential, FanOutWithCrossEdgesCompacts) {
+  // Readers of X that also chain among themselves through Y: compaction can
+  // drop chained readers from X's WAR list, and the final writer's edge set
+  // must still match the oracle's.
+  std::vector<std::vector<AccessSummary>> stream;
+  stream.push_back({wr(0)});
+  stream.push_back({wr(1)});
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (i % 2 == 0) {
+      stream.push_back({rd(0), wr(1)});  // chained reader: dominated later
+    } else {
+      stream.push_back({rd(0), rd(1)});
+    }
+  }
+  stream.push_back({wr(0)});
+  expect_equivalent(stream);
+}
+
+TEST(DagDifferential, IsAncestorEquivalenceSweep) {
+  const auto stream = random_stream(0x5eed, 600, 6, 35);
+  DependencyDag fast;
+  oracle::NaiveDag naive;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    fast.add("ce" + std::to_string(i), stream[i]);
+    naive.add(stream[i]);
+  }
+  // Dense sweep over a sample grid plus every adjacent pair.
+  Rng rng(0x15a);
+  for (int probe = 0; probe < 20000; ++probe) {
+    const VertexId a = rng.next_below(fast.size());
+    const VertexId v = rng.next_below(fast.size());
+    ASSERT_EQ(fast.is_ancestor(a, v), naive.is_ancestor(a, v))
+        << "is_ancestor(" << a << ", " << v << ") diverges";
+  }
+  for (VertexId v = 1; v < fast.size(); ++v) {
+    ASSERT_EQ(fast.is_ancestor(v - 1, v), naive.is_ancestor(v - 1, v));
+  }
+}
+
+TEST(DagDifferential, ReaderListsStayBoundedOnRollingReads) {
+  // A reader stream where each reader is dominated by the next (reads X,
+  // writes a chain array): compaction keeps the WAR list near the minimum
+  // instead of one entry per reader for the life of the array.
+  DependencyDag dag;
+  dag.add("init", {wr(0)});
+  dag.add("chain0", {wr(1)});
+  for (std::size_t i = 0; i < 5000; ++i) {
+    dag.add("r" + std::to_string(i), {rd(0), rd(1), wr(1)});
+  }
+  // The final writer of X sees a compacted candidate list: exactly the
+  // frontier chain tail plus the last writer, not 5000 readers.
+  const VertexId barrier = dag.add("barrier", {wr(0)});
+  EXPECT_EQ(dag.ancestors(barrier).size(), 1u);
+}
+
+}  // namespace
+}  // namespace grout::dag
