@@ -1,0 +1,80 @@
+#include "cluster/elastic.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace grout::cluster {
+
+namespace {
+
+std::uint64_t parse_uint(std::string_view s, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  GROUT_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+                std::string("elastic plan: bad ") + std::string(what) + ": '" +
+                    std::string(s) + "'");
+  return value;
+}
+
+/// Parse the "t=<sec>[s]" half of a directive into a SimTime.
+SimTime parse_time(std::string_view s) {
+  GROUT_REQUIRE(starts_with(s, "t="), "elastic plan: time must be spelled 't=<sec>'");
+  std::string_view num = s.substr(2);
+  if (!num.empty() && num.back() == 's') num.remove_suffix(1);
+  GROUT_REQUIRE(!num.empty(), "elastic plan: missing time");
+  try {
+    const double sec = std::stod(std::string(num));
+    GROUT_REQUIRE(sec >= 0.0, "elastic plan: time must be >= 0");
+    return SimTime::from_seconds(sec);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    GROUT_REQUIRE(false, "elastic plan: bad time: '" + std::string(s) + "'");
+  }
+  return SimTime::zero();  // unreachable
+}
+
+}  // namespace
+
+std::size_t ElasticPlan::total_joins() const {
+  std::size_t n = 0;
+  for (const JoinEvent& j : joins) n += j.count;
+  return n;
+}
+
+ElasticPlan ElasticPlan::parse(const std::string& spec) {
+  ElasticPlan plan;
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  for (const std::string_view raw : split(normalized, ',')) {
+    const std::string_view token = trim(raw);
+    if (token.empty()) continue;
+    const std::size_t at_pos = token.find('@');
+    GROUT_REQUIRE(at_pos != std::string_view::npos,
+                  "elastic plan: directive needs '@t=<sec>': '" + std::string(token) + "'");
+    const std::string_view kind = token.substr(0, at_pos);
+    const std::string_view rest = token.substr(at_pos + 1);
+    const std::size_t colon = rest.find(':');
+    GROUT_REQUIRE(colon != std::string_view::npos,
+                  "elastic plan: directive needs ':<arg>': '" + std::string(token) + "'");
+    const SimTime at = parse_time(trim(rest.substr(0, colon)));
+    const std::string_view arg = trim(rest.substr(colon + 1));
+    if (kind == "join") {
+      const auto count = static_cast<std::size_t>(parse_uint(arg, "join count"));
+      GROUT_REQUIRE(count > 0, "elastic plan: join count must be positive");
+      plan.joins.push_back(JoinEvent{at, count});
+    } else if (kind == "drain") {
+      plan.drains.push_back(
+          DrainEvent{at, static_cast<std::size_t>(parse_uint(arg, "drain worker"))});
+    } else {
+      GROUT_REQUIRE(false, "elastic plan: unknown directive '" + std::string(kind) + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace grout::cluster

@@ -1,0 +1,47 @@
+// Declarative elastic-membership schedule (the --elastic-plan CLI flag).
+//
+// Mirrors net::FaultPlan: a seedless, deterministic list of timed membership
+// events that the GroutRuntime arms against its simulator. Joins add fresh
+// workers (cluster, fabric, directory, governor and metrics all grow);
+// drains gracefully decommission a worker — no new placements, in-flight
+// CEs finish, sole up-to-date copies migrate out through the coherence
+// directory before the node's replicas are released.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace grout::cluster {
+
+/// Add `count` workers at sim time `at`.
+struct JoinEvent {
+  SimTime at{SimTime::zero()};
+  std::size_t count{1};
+};
+
+/// Start a graceful drain of worker `worker` (cluster index) at `at`.
+struct DrainEvent {
+  SimTime at{SimTime::zero()};
+  std::size_t worker{0};
+};
+
+struct ElasticPlan {
+  std::vector<JoinEvent> joins;
+  std::vector<DrainEvent> drains;
+
+  [[nodiscard]] bool empty() const { return joins.empty() && drains.empty(); }
+
+  /// Total workers added by all join events.
+  [[nodiscard]] std::size_t total_joins() const;
+
+  /// Parse a plan from its CLI spelling: ','- or ';'-separated directives
+  ///   join@t=<sec>[s]:<count>    add <count> workers at a sim time
+  ///   drain@t=<sec>[s]:<worker>  gracefully decommission a worker
+  /// e.g. "join@t=2s:2,drain@t=5s:0". Throws InvalidArgument on errors.
+  static ElasticPlan parse(const std::string& spec);
+};
+
+}  // namespace grout::cluster

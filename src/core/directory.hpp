@@ -80,6 +80,15 @@ class CoherenceDirectory {
     return orphaned;
   }
 
+  /// A worker hot-joined the cluster: widen every holder set so the new
+  /// index is representable. The joiner starts holding nothing — online
+  /// policies can only reach it through their exploration path until data
+  /// lands there.
+  void add_worker() {
+    ++workers_;
+    for (Entry& e : entries_) e.holders.grow(workers_);
+  }
+
   /// A CE wrote the array on `worker`: exclusive ownership.
   void written_on_worker(GlobalArrayId id, std::size_t worker) {
     entry_mut(id).holders.reset_to_worker(worker);

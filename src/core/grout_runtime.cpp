@@ -11,6 +11,16 @@ namespace {
 using WallClock = std::chrono::steady_clock;
 }
 
+const char* to_string(MembershipEvent::Kind k) {
+  switch (k) {
+    case MembershipEvent::Kind::Join: return "join";
+    case MembershipEvent::Kind::DrainStart: return "drain-start";
+    case MembershipEvent::Kind::DrainDone: return "drain-done";
+    case MembershipEvent::Kind::Death: return "death";
+  }
+  return "?";
+}
+
 GroutRuntime::GroutRuntime(GroutConfig config)
     : config_{std::move(config)},
       cluster_{std::make_unique<cluster::Cluster>(config_.cluster)},
@@ -27,6 +37,9 @@ GroutRuntime::GroutRuntime(GroutConfig config)
   metrics_.assignments.assign(config_.cluster.workers, 0);
   metrics_.inflight.assign(config_.cluster.workers, 0);
   alive_.assign(config_.cluster.workers, true);
+  draining_.assign(config_.cluster.workers, false);
+  drained_.assign(config_.cluster.workers, false);
+  schedulable_.assign(config_.cluster.workers, true);
   GROUT_REQUIRE(config_.worker_mem_headroom > 0.0, "worker_mem_headroom must be positive");
   const Bytes node_gpu_mem =
       config_.cluster.worker_node.gpu_count * config_.cluster.worker_node.device.memory;
@@ -34,14 +47,93 @@ GroutRuntime::GroutRuntime(GroutConfig config)
       config_.worker_mem_headroom * static_cast<double>(node_gpu_mem)));
   governor_ = std::make_unique<MemoryGovernor>(*cluster_, directory_, metrics_, budget);
   cluster_->fabric().set_control_retry(config_.control_retry);
+  // Workers that hot-join through the elastic plan are legal fault targets:
+  // a kill scheduled after the join sees a real node.
+  const std::size_t max_workers =
+      config_.cluster.workers + config_.elastic_plan.total_joins();
   if (!config_.fault_plan.empty()) {
     for (const net::KillWorkerFault& k : config_.fault_plan.kills) {
-      GROUT_REQUIRE(k.worker < config_.cluster.workers, "fault plan kills an unknown worker");
+      GROUT_REQUIRE(k.worker < max_workers, "fault plan kills an unknown worker");
     }
     injector_ = std::make_unique<net::FaultInjector>(cluster_->simulator(), cluster_->fabric(),
                                                      config_.fault_plan);
     injector_->arm([this](std::size_t w) { handle_worker_death(w); });
   }
+  if (!config_.elastic_plan.empty()) {
+    sim::Simulator& sim = cluster_->simulator();
+    for (const cluster::DrainEvent& d : config_.elastic_plan.drains) {
+      GROUT_REQUIRE(d.worker < max_workers, "elastic plan drains an unknown worker");
+    }
+    for (const cluster::JoinEvent& j : config_.elastic_plan.joins) {
+      sim.schedule_at(j.at, [this, count = j.count] {
+        for (std::size_t i = 0; i < count; ++i) add_worker();
+      });
+    }
+    for (const cluster::DrainEvent& d : config_.elastic_plan.drains) {
+      sim.schedule_at(d.at, [this, w = d.worker] { drain_worker(w); });
+    }
+  }
+}
+
+std::size_t GroutRuntime::add_worker(const cluster::WorkerSpec& spec) {
+  const std::size_t w = cluster_->add_worker(spec);
+  directory_.add_worker();
+  governor_->add_worker();
+  metrics_.assignments.push_back(0);
+  metrics_.inflight.push_back(0);
+  alive_.push_back(true);
+  draining_.push_back(false);
+  drained_.push_back(false);
+  schedulable_.push_back(true);
+  ++metrics_.worker_joins;
+  record_membership(MembershipEvent::Kind::Join, w);
+  return w;
+}
+
+void GroutRuntime::drain_worker(std::size_t w) {
+  GROUT_REQUIRE(w < alive_.size(), "worker index out of range");
+  GROUT_REQUIRE(alive_[w], "cannot drain a dead worker");
+  GROUT_REQUIRE(!draining_[w] && !drained_[w], "worker is already draining or drained");
+  bool other_schedulable = false;
+  for (std::size_t i = 0; i < schedulable_.size(); ++i) {
+    if (i != w && schedulable_[i]) {
+      other_schedulable = true;
+      break;
+    }
+  }
+  GROUT_REQUIRE(other_schedulable, "cannot drain the last schedulable worker");
+  cluster_->drain_worker(w);
+  draining_[w] = true;
+  schedulable_[w] = false;
+  ++metrics_.worker_drains;
+  record_membership(MembershipEvent::Kind::DrainStart, w);
+  try_finalize_drain(w);
+}
+
+void GroutRuntime::try_finalize_drain(std::size_t w) {
+  if (!draining_[w] || drained_[w] || !alive_[w]) return;
+  if (metrics_.inflight[w] > 0) return;  // on_ce_complete re-triggers
+  const std::size_t pinned = governor_->drain_worker(w);
+  if (pinned > 0) {
+    // Pinned replicas are staged outbound transfers (P2P sources, spills,
+    // host fetches) still draining; their completion events release the
+    // pins. Poll instead of driving the event loop: a drain may have been
+    // requested from inside a sim callback, which cannot re-enter it.
+    cluster_->simulator().schedule_after(SimTime::from_us(100.0),
+                                         [this, w] { try_finalize_drain(w); });
+    return;
+  }
+  cluster_->retire_worker(w);
+  drained_[w] = true;
+  record_membership(MembershipEvent::Kind::DrainDone, w);
+}
+
+void GroutRuntime::record_membership(MembershipEvent::Kind kind, std::size_t w) {
+  const SimTime at = cluster_->simulator().now();
+  membership_.push_back(MembershipEvent{kind, w, at});
+  cluster_->tracer().record(sim::TraceCategory::Scheduling,
+                            std::string(to_string(kind)) + ":worker" + std::to_string(w),
+                            "controller", at, at);
 }
 
 GlobalArrayId GroutRuntime::alloc(Bytes bytes, std::string name) {
@@ -93,6 +185,7 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
 
 void GroutRuntime::dispatch(dag::VertexId v) {
   const auto t0 = WallClock::now();
+  dispatching_.insert(v);
   CeRecord& rec = records_.at(v);
   const gpusim::KernelLaunchSpec& spec = rec.spec;
 
@@ -110,12 +203,18 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   query.fabric = &cluster_->fabric();
   query.workers = cluster_->worker_count();
   query.outstanding = &metrics_.inflight;
-  query.alive = &alive_;
+  // Draining workers take no new CEs but keep serving as P2P sources until
+  // their replicas migrate out, so the policy sees schedulability, not
+  // liveness.
+  query.alive = &schedulable_;
   query.resident = &governor_->resident_by_worker();
   query.mem_budget = governor_->budget();
+  bool explored = false;
+  query.explored = &explored;
   const std::size_t w = policy_->assign(query);
-  GROUT_CHECK(w < cluster_->worker_count() && alive_[w],
-              "policy returned an invalid or dead worker");
+  GROUT_CHECK(w < cluster_->worker_count() && schedulable_[w],
+              "policy returned an invalid or unschedulable worker");
+  if (explored) ++metrics_.exploration_placements;
 
   // 2. Memory governance, then the data movements implied by the placement
   //    (Algorithm 1, last loop). Cold replicas are evicted *before* the
@@ -181,6 +280,7 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
   sub.done->on_complete([this, v, attempt] { on_ce_complete(v, attempt); });
   track_pending(std::move(sub.done));
+  dispatching_.erase(v);
 }
 
 void GroutRuntime::track_pending(gpusim::EventPtr event) {
@@ -205,6 +305,7 @@ void GroutRuntime::on_ce_complete(dag::VertexId v, std::uint32_t attempt) {
   // replicas are evictable again.
   for (const GlobalArrayId id : unique_arrays(rec.spec)) governor_->unpin(rec.worker, id);
   governor_->enforce(rec.worker);
+  if (draining_[rec.worker] && !drained_[rec.worker]) try_finalize_drain(rec.worker);
   rec.done->complete(cluster_->simulator().now());
 }
 
@@ -222,7 +323,10 @@ void GroutRuntime::handle_worker_death(std::size_t w) {
   GROUT_REQUIRE(w < alive_.size(), "worker index out of range");
   if (!alive_[w]) return;
   alive_[w] = false;
+  schedulable_[w] = false;
+  draining_[w] = false;  // death supersedes an in-progress drain
   ++metrics_.worker_deaths;
+  record_membership(MembershipEvent::Kind::Death, w);
 
   // Forget every copy the dead worker held; arrays left holderless need a
   // rebuilt copy before anyone can read them again. The governor frees the
@@ -263,6 +367,13 @@ void GroutRuntime::recover_array(GlobalArrayId id) {
     // controller still has the program that produced it.
     directory_.add_controller_copy(id);
   } else if (!it->second.completed) {
+    // An in-flight producer that is *currently being dispatched* can only be
+    // reached through its own input loop — the lost array is one the producer
+    // both reads and writes (directly, or through a replay chain that cycles
+    // back to it). That is the in-place-update case: no acyclic lineage
+    // exists, so fail loudly rather than recurse into dispatch.
+    GROUT_CHECK(!dispatching_.contains(v),
+                "array is unrecoverable: its producer consumes the lost copy");
     // The producer was still in flight on the dead node; re-dispatching it
     // re-establishes ownership (eager directory update) and re-runs it.
     GROUT_CHECK(metrics_.inflight[it->second.worker] > 0, "in-flight counter underflow");

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/elastic.hpp"
 #include "core/directory.hpp"
 #include "core/memory_governor.hpp"
 #include "core/metrics.hpp"
@@ -45,6 +46,10 @@ struct GroutConfig {
   SimTime run_cap = SimTime::from_seconds(9000.0);
   /// Deterministic fault schedule (empty = fault-free run).
   net::FaultPlan fault_plan{};
+  /// Deterministic membership schedule: hot-joins and graceful drains at
+  /// fixed sim times (empty = static membership). A fault plan may kill
+  /// planned joiners: worker indices up to workers + total_joins are legal.
+  cluster::ElasticPlan elastic_plan{};
   /// Control-lane retry behaviour (timeout + exponential backoff).
   net::ControlRetryConfig control_retry{};
   /// Rebuild arrays whose only copy died by replaying their producer CEs
@@ -66,6 +71,17 @@ struct CeTicket {
   std::size_t worker{0};
   gpusim::EventPtr done;
 };
+
+/// One entry in the runtime's membership timeline: every join, drain
+/// start/finish and death, stamped with the sim time it happened at.
+struct MembershipEvent {
+  enum class Kind : std::uint8_t { Join, DrainStart, DrainDone, Death };
+  Kind kind{Kind::Join};
+  std::size_t worker{0};
+  SimTime at{SimTime::zero()};
+};
+
+const char* to_string(MembershipEvent::Kind k);
 
 class GroutRuntime {
  public:
@@ -102,6 +118,39 @@ class GroutRuntime {
   bool synchronize();
 
   [[nodiscard]] SimTime now() const { return cluster_->simulator().now(); }
+
+  // -- elastic membership ----------------------------------------------------
+
+  /// Hot-join a new worker: register a fabric endpoint (re-probing the
+  /// bandwidth matrix row), grow the directory / governor / metrics, and
+  /// make the node eligible for placement immediately. Returns the new
+  /// worker index. Note that a fresh joiner holds 0% of every CE's inputs,
+  /// so under a min-transfer policy its first CE arrives through the
+  /// exploration fallback (surfaced as metrics().exploration_placements).
+  std::size_t add_worker(const cluster::WorkerSpec& spec = {});
+
+  /// Start a graceful decommission of worker `w`: no new CEs are placed on
+  /// it, in-flight CEs finish where they are, and every replica it holds is
+  /// evicted — sole up-to-date copies are migrated out via the directory
+  /// (spilled to the controller) so no array is lost. The drain finalizes
+  /// asynchronously once the worker's in-flight count reaches zero and its
+  /// last pinned replica is released; observe completion via
+  /// worker_drained() or the membership log.
+  void drain_worker(std::size_t w);
+
+  [[nodiscard]] bool worker_draining(std::size_t w) const {
+    GROUT_REQUIRE(w < draining_.size(), "worker index out of range");
+    return draining_[w] && !drained_[w];
+  }
+  [[nodiscard]] bool worker_drained(std::size_t w) const {
+    GROUT_REQUIRE(w < drained_.size(), "worker index out of range");
+    return drained_[w];
+  }
+
+  /// Every membership change so far, in the order it happened.
+  [[nodiscard]] const std::vector<MembershipEvent>& membership_log() const {
+    return membership_;
+  }
 
   // -- introspection ---------------------------------------------------------
 
@@ -154,6 +203,13 @@ class GroutRuntime {
   /// Drive the event loop (never past the run cap) until a pending spill
   /// backing the controller's copy of `array` has landed, if any.
   bool wait_controller_copy(GlobalArrayId array);
+  /// Finish a drain if worker `w` is quiescent: zero in-flight CEs and no
+  /// pinned replicas left. Pinned replicas (outbound staged sends still
+  /// draining) reschedule a retry poll instead of blocking — a drain may be
+  /// requested from inside a sim callback, which cannot re-enter the event
+  /// loop.
+  void try_finalize_drain(std::size_t w);
+  void record_membership(MembershipEvent::Kind kind, std::size_t w);
   /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
   static std::vector<GlobalArrayId> unique_arrays(const gpusim::KernelLaunchSpec& spec);
   /// Record a completion event in `pending_`, sweeping out already-completed
@@ -178,11 +234,23 @@ class GroutRuntime {
   std::unordered_map<GlobalArrayId, uvm::Advise> advises_;
   /// Dispatch records by Global-DAG vertex (reference-stable map).
   std::unordered_map<dag::VertexId, CeRecord> records_;
-  /// Liveness per worker; policies consult this through PlacementQuery.
+  /// Liveness per worker; draining/drained track graceful decommissions.
   std::vector<bool> alive_;
+  std::vector<bool> draining_;
+  std::vector<bool> drained_;
+  /// alive && not draining/drained — what PlacementQuery::alive sees, so
+  /// policies never place a new CE on a decommissioning node (it can still
+  /// serve as a P2P source until its replicas are migrated out).
+  std::vector<bool> schedulable_;
+  /// Membership timeline: joins, drain starts/finishes, deaths.
+  std::vector<MembershipEvent> membership_;
   /// Arrays whose recovery is on the call stack: re-entering for the same
   /// array means its producer consumes the lost copy — unrecoverable.
   std::unordered_set<GlobalArrayId> recovering_;
+  /// Vertices whose dispatch is on the call stack. Lineage recovery reaching
+  /// one of these as a producer found an in-place cycle (the dispatch's own
+  /// input loop is what asked), which single-level replay cannot rebuild.
+  std::unordered_set<dag::VertexId> dispatching_;
   std::unique_ptr<net::FaultInjector> injector_;
 };
 

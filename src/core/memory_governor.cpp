@@ -89,6 +89,43 @@ void MemoryGovernor::drop_worker(std::size_t w) {
   evicted_once_[w].clear();
 }
 
+void MemoryGovernor::add_worker() {
+  resident_.push_back(0);
+  high_water_.push_back(0);
+  replicas_.emplace_back();
+  evicted_once_.emplace_back();
+}
+
+std::size_t MemoryGovernor::drain_worker(std::size_t w) {
+  GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
+  std::vector<GlobalArrayId> victims;
+  victims.reserve(replicas_[w].size());
+  std::size_t pinned = 0;
+  for (const auto& [id, rep] : replicas_[w]) {
+    if (rep.pins > 0) {
+      ++pinned;
+      continue;
+    }
+    victims.push_back(id);
+  }
+  // Deterministic migration order (unordered_map iteration is not).
+  std::sort(victims.begin(), victims.end());
+  for (const GlobalArrayId id : victims) {
+    const LocationSet& holders = directory_.holders(id);
+    const bool sole = holders.worker(w) && holders.holder_count() == 1;
+    if (sole) {
+      GROUT_CHECK(cluster_.fabric()
+                      .bandwidth(cluster::Cluster::worker_fabric_id(w),
+                                 cluster::Cluster::controller_id())
+                      .bps() > 0.0,
+                  "cannot drain: sole up-to-date copy has no route to the controller");
+      metrics_.drain_migrated_bytes += replicas_[w].at(id).bytes;
+    }
+    evict(w, id, sole);
+  }
+  return pinned;
+}
+
 gpusim::EventPtr MemoryGovernor::controller_ready(GlobalArrayId id) const {
   const auto it = spills_.find(id);
   return it == spills_.end() ? nullptr : it->second;

@@ -81,6 +81,20 @@ class MemoryGovernor {
   /// Worker `w` died: free every replica it held and forget its accounting.
   void drop_worker(std::size_t w);
 
+  /// A worker hot-joined the cluster: start accounting for it (empty
+  /// replica cache, zero resident bytes).
+  void add_worker();
+
+  /// Graceful decommission of `w`: evict every unpinned replica it still
+  /// holds — sole up-to-date copies are spilled to the controller first, so
+  /// no array is ever lost — and return the number of replicas that remain
+  /// pinned (outbound staged sends still draining). The caller retries
+  /// until this returns 0. Unlike eviction under pressure, a drain *must*
+  /// converge: a sole copy whose uplink is down fails loudly instead of
+  /// being skipped. Spilled bytes are additionally counted as
+  /// drain_migrated_bytes.
+  std::size_t drain_worker(std::size_t w);
+
   /// Arrival event of an in-flight spill that created the controller's
   /// copy of `id`, or nullptr. A consumer reading the controller copy must
   /// be ordered after it.

@@ -48,6 +48,17 @@ struct SchedulerMetrics {
   /// GroutRuntime::metrics() from the governor's accounting).
   std::vector<Bytes> worker_resident;
   std::vector<Bytes> worker_high_water;
+
+  // Elastic membership (hot-join / graceful drain).
+  std::uint64_t worker_joins{0};   ///< workers added at runtime
+  std::uint64_t worker_drains{0};  ///< drains started (graceful decommission)
+  /// Sole up-to-date copies migrated off draining workers via the directory.
+  Bytes drain_migrated_bytes{0};
+  /// Placements decided by a min-transfer policy's exploration fallback
+  /// (round-robin over data-less nodes) rather than exploitation — the only
+  /// path by which a fresh joiner, holding 0% of any CE's inputs, can
+  /// attract its first CE.
+  std::uint64_t exploration_placements{0};
 };
 
 }  // namespace grout::core

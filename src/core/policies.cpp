@@ -167,7 +167,10 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
   }
 
   // Pure-output CEs carry no locality signal: explore.
-  if (total_input == 0) return next_placement_rr(q, rr_cursor_);
+  if (total_input == 0) {
+    if (q.explored != nullptr) *q.explored = true;
+    return next_placement_rr(q, rr_cursor_);
+  }
 
   // Per-CE precompute, hoisted out of the candidate-worker loop: each input
   // param's holder set once, and (for min-transfer-time) its best-source
@@ -310,6 +313,7 @@ std::size_t MinTransferPolicy::assign(const PlacementQuery& q) {
 
   if (best_node == q.workers) {
     // Nothing viable: fall back to round-robin (exploration).
+    if (q.explored != nullptr) *q.explored = true;
     return next_placement_rr(q, rr_cursor_);
   }
   return best_node;

@@ -69,6 +69,11 @@ struct PlacementQuery {
   /// they drive the capacity admission check.
   const std::vector<Bytes>* resident{nullptr};
   Bytes mem_budget{0};
+  /// Out-param (may be null): a min-transfer policy sets it when the
+  /// placement came from the exploration fallback instead of exploitation —
+  /// how fresh joiners with no resident data attract their first CE. The
+  /// runtime surfaces the count as SchedulerMetrics::exploration_placements.
+  bool* explored{nullptr};
 };
 
 /// True when worker `w` is eligible for placement under `q`.

@@ -1,10 +1,43 @@
 #include "sim/trace.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/error.hpp"
 
 namespace grout::sim {
+
+namespace {
+
+/// JSON string-escape: quotes, backslashes and control characters. Span
+/// names come from user-provided kernel/array names, so arbitrary bytes can
+/// reach the trace output.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* to_string(TraceCategory c) {
   switch (c) {
@@ -41,9 +74,9 @@ std::string Tracer::to_chrome_json() const {
   for (const auto& s : spans_) {
     if (!first) os << ",";
     first = false;
-    os << "\n  {\"name\": \"" << s.name << "\", \"cat\": \"" << to_string(s.category)
+    os << "\n  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \"" << to_string(s.category)
        << "\", \"ph\": \"X\", \"ts\": " << s.begin.us() << ", \"dur\": " << (s.end - s.begin).us()
-       << ", \"pid\": 0, \"tid\": \"" << s.location << "\"}";
+       << ", \"pid\": 0, \"tid\": \"" << json_escape(s.location) << "\"}";
   }
   os << "\n]\n";
   return os.str();

@@ -1,0 +1,85 @@
+// Runtime invariants the seeded fuzz harness asserts after every step.
+//
+// The checks are written against GroutRuntime's public introspection
+// surface only, so they hold for any interleaving of launches, membership
+// changes (hot-joins, drains), faults and synchronization the generator
+// produces:
+//
+//   * coherence:   no array ever loses its last up-to-date holder (lineage
+//                  recovery restores one before control returns);
+//   * budget:      at quiescent points, every worker's resident replica
+//                  bytes fit the governor's budget;
+//   * ordering:    the Global DAG stays acyclic (every edge respects
+//                  insertion order — the DAG's acyclicity witness);
+//   * placement:   a freshly launched CE's parameters are all up-to-date on
+//                  the worker it was placed on (the directory is updated
+//                  eagerly at dispatch);
+//   * decommission: a drained worker holds zero replicas — no resident
+//                  bytes and no holder bit in any directory entry.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/grout_runtime.hpp"
+
+namespace grout::test {
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(core::GroutRuntime& rt) : rt_{rt} {}
+
+  /// Invariants that hold at every observable point.
+  void check_always() {
+    const core::CoherenceDirectory& dir = rt_.directory();
+    // Coherence: with lineage recovery on (the fuzz default), even a worker
+    // death restores a holder before handle_worker_death returns.
+    for (core::GlobalArrayId id = 0; id < dir.array_count(); ++id) {
+      EXPECT_TRUE(dir.holders(id).any()) << "array " << dir.name_of(id) << " lost every copy";
+    }
+    // The Global DAG must stay acyclic.
+    EXPECT_TRUE(rt_.global_dag().edges_respect_insertion_order());
+    // Drained workers hold nothing.
+    const core::MemoryGovernor& gov = rt_.governor();
+    for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
+      if (!rt_.worker_drained(w)) continue;
+      EXPECT_EQ(gov.resident_bytes(w), 0u) << "drained worker " << w << " still holds replicas";
+      for (core::GlobalArrayId id = 0; id < dir.array_count(); ++id) {
+        EXPECT_FALSE(dir.holders(id).worker(w))
+            << "drained worker " << w << " still a holder of " << dir.name_of(id);
+      }
+    }
+  }
+
+  /// A CE was just launched: every parameter must be up-to-date on the
+  /// worker the policy placed it on (reads through planned movement, writes
+  /// through eager ownership), and the placement must target a live,
+  /// non-draining worker.
+  void after_launch(const core::CeTicket& ticket, const gpusim::KernelLaunchSpec& spec) {
+    EXPECT_TRUE(rt_.worker_alive(ticket.worker));
+    EXPECT_FALSE(rt_.worker_draining(ticket.worker));
+    EXPECT_FALSE(rt_.worker_drained(ticket.worker));
+    for (const uvm::ParamAccess& p : spec.params) {
+      EXPECT_TRUE(rt_.directory().up_to_date_on_worker(static_cast<core::GlobalArrayId>(p.array),
+                                                       ticket.worker))
+          << "param " << p.array << " not up to date on worker " << ticket.worker
+          << " right after placement";
+    }
+    check_always();
+  }
+
+  /// Budget invariant; only exact once in-flight pins have lapsed, so the
+  /// generator calls it after synchronize() rather than mid-burst.
+  void check_quiescent() {
+    const core::MemoryGovernor& gov = rt_.governor();
+    if (!gov.bounded()) return;
+    for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
+      EXPECT_LE(gov.resident_bytes(w), gov.budget())
+          << "worker " << w << " over budget at a quiescent point";
+    }
+  }
+
+ private:
+  core::GroutRuntime& rt_;
+};
+
+}  // namespace grout::test

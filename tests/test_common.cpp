@@ -209,6 +209,14 @@ TEST(RunningStatsTest, SingleSampleVarianceZero) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStatsTest, EmptyStatsAreZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
 TEST(SampleSetTest, Percentiles) {
   SampleSet s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));

@@ -69,6 +69,38 @@ TEST(ReportTable, EmptyHeadersRejected) {
   EXPECT_THROW(Table({}), InvalidArgument);
 }
 
+TEST(ReportTable, HeaderOnlyTableRenders) {
+  const Table t({"name", "value"});
+  EXPECT_EQ(t.rows(), 0u);
+  const std::string text = t.to_text();
+  // Header and rule only.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(t.to_markdown().find("| name | value |"), std::string::npos);
+  EXPECT_NE(t.to_csv().find("name,value\n"), std::string::npos);
+}
+
+TEST(ReportTable, EmptyCellsKeepColumnsAligned) {
+  Table t({"name", "value"});
+  t.add_row({"", "1.00"});
+  t.add_row({"CG", ""});
+  const std::string text = t.to_text();
+  // Alignment invariant must survive empty cells: every line has the same
+  // width, including the rows whose cells are empty strings.
+  std::size_t width = std::string::npos;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::size_t len = end - start;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+  EXPECT_NE(t.to_markdown().find("|  | 1.00 |"), std::string::npos);
+  EXPECT_NE(t.to_csv().find(",1.00\n"), std::string::npos);
+  EXPECT_NE(t.to_csv().find("CG,\n"), std::string::npos);
+}
+
 TEST(ReportCells, Formatting) {
   EXPECT_EQ(cell_seconds(12.345), "12.35");
   EXPECT_EQ(cell_seconds(9000.0, true), ">9000.00");

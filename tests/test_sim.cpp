@@ -3,6 +3,7 @@
 
 #include <vector>
 #include <functional>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -270,6 +271,59 @@ TEST(TracerTest, ChromeJsonShape) {
   EXPECT_NE(json.find("\"name\": \"xfer\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"network\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
+}
+
+// Decode one JSON string field from the Chrome-trace output so the escape
+// test can round-trip names instead of only pattern-matching on the escaped
+// form.
+std::string extract_json_string(const std::string& json, const std::string& key) {
+  const std::string pat = "\"" + key + "\": \"";
+  const std::size_t start = json.find(pat);
+  EXPECT_NE(start, std::string::npos) << "missing field " << key;
+  if (start == std::string::npos) return {};
+  std::string out;
+  for (std::size_t i = start + pat.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') return out;
+    // A well-escaped document never carries raw control bytes in a string.
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char in JSON string";
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    const char esc = json[++i];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(json.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: ADD_FAILURE() << "unknown escape \\" << esc; break;
+    }
+  }
+  ADD_FAILURE() << "unterminated JSON string for " << key;
+  return out;
+}
+
+TEST(TracerTest, ChromeJsonEscapesSpecialCharacters) {
+  Tracer t;
+  t.set_enabled(true);
+  const std::string name = "ker\"nel\\path\nline\ttab\x01 end";
+  const std::string location = "gpu\"0\\a";
+  t.record(TraceCategory::Kernel, name, location, SimTime::zero(), SimTime::from_us(1.0));
+  const std::string json = t.to_chrome_json();
+  // The escaped forms appear verbatim…
+  EXPECT_NE(json.find("ker\\\"nel\\\\path\\nline\\ttab\\u0001 end"), std::string::npos);
+  EXPECT_NE(json.find("gpu\\\"0\\\\a"), std::string::npos);
+  // …and decoding the fields recovers the original bytes exactly.
+  EXPECT_EQ(extract_json_string(json, "name"), name);
+  EXPECT_EQ(extract_json_string(json, "tid"), location);
 }
 
 TEST(TracerTest, CategoryNames) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/elastic.hpp"
 #include "common/strings.hpp"
 #include "net/fault.hpp"
 #include "report/table.hpp"
@@ -51,6 +52,7 @@ struct Options {
   std::string format = "text";  // text | markdown | csv
   std::optional<std::string> trace_path;
   net::FaultPlan fault_plan;
+  cluster::ElasticPlan elastic_plan;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -81,7 +83,11 @@ struct Options {
                "       drop:<n>                      drop next n control messages\n"
                "       droprate:<p>[@<seed>]         drop each control msg with prob p\n"
                "       delay:<us>                    extra control-lane delay\n"
-               "     e.g. --fault-plan kill:0@0.5,drop:2)\n");
+               "     e.g. --fault-plan kill:0@0.5,drop:2)\n"
+               "  --elastic-plan <spec>           (grout backend; ','/';'-separated:\n"
+               "       join@t=<sec>:<count>          hot-join <count> workers at a sim time\n"
+               "       drain@t=<sec>:<worker>        gracefully decommission a worker\n"
+               "     e.g. --elastic-plan \"join@t=2s:2,drain@t=5s:0\")\n");
   std::exit(2);
 }
 
@@ -181,6 +187,8 @@ Options parse_args(int argc, char** argv) {
       opt.trace_path = next();
     } else if (flag == "--fault-plan") {
       opt.fault_plan = net::FaultPlan::parse(next());
+    } else if (flag == "--elastic-plan") {
+      opt.elastic_plan = cluster::ElasticPlan::parse(next());
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -233,6 +241,7 @@ polyglot::Context make_context(const Options& opt, const std::string& backend) {
   cfg.exploration = opt.exploration;
   cfg.run_cap = SimTime::from_seconds(9000.0);
   cfg.fault_plan = opt.fault_plan;
+  cfg.elastic_plan = opt.elastic_plan;
   if (opt.worker_mem_gib) {
     cfg.worker_mem = static_cast<Bytes>(*opt.worker_mem_gib * 1073741824.0);
   }
@@ -282,6 +291,19 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
                   static_cast<unsigned long long>(m.control_drops),
                   static_cast<unsigned long long>(m.control_timeouts),
                   static_cast<unsigned long long>(m.control_retries));
+    }
+    if (!rt.membership_log().empty()) {
+      std::printf("membership:\n");
+      for (const auto& e : rt.membership_log()) {
+        std::printf("  %8.3f s  %-11s worker %zu\n", e.at.seconds(), core::to_string(e.kind),
+                    e.worker);
+      }
+      std::printf("  %llu joins, %llu drains, %s migrated off draining workers\n",
+                  static_cast<unsigned long long>(m.worker_joins),
+                  static_cast<unsigned long long>(m.worker_drains),
+                  format_bytes(m.drain_migrated_bytes).c_str());
+      std::printf("  %llu exploration placements (how joiners attract their first CEs)\n",
+                  static_cast<unsigned long long>(m.exploration_placements));
     }
     std::printf("memory governor:\n");
     std::printf("  budget/worker:   %s\n", m.worker_mem_budget == 0
