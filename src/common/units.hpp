@@ -13,6 +13,18 @@
 namespace grout {
 
 // ---------------------------------------------------------------------------
+// Tenants
+// ---------------------------------------------------------------------------
+
+/// Identifies the serving tenant a CE / trace span / allocation belongs to.
+/// Lives here (not in serve/) because it is threaded through every layer:
+/// kernel specs, the wire format, trace spans and governor accounting.
+using TenantId = std::uint32_t;
+
+/// Work that predates or bypasses the serving frontend (single-program runs).
+inline constexpr TenantId kNoTenant = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
 // Bytes
 // ---------------------------------------------------------------------------
 

@@ -21,6 +21,10 @@ namespace grout::core {
 
 struct AutoscaleDecision {
   bool scale_out{false};
+  /// The observed pressure would still clear the KPI on fewer nodes:
+  /// recommend shrinking (one worker per observation window — scale-in is
+  /// deliberately conservative, a drain migrates data).
+  bool scale_in{false};
   std::size_t recommended_workers{1};
   std::string reason;
 };
@@ -54,6 +58,20 @@ class KpiAutoscaler {
     AutoscaleDecision d;
     d.recommended_workers = current_workers;
     if (kernels_ == 0 || peak_intensity_ <= intensity_kpi_) {
+      // Within KPI. If the pressure would stay within KPI even after losing
+      // a node — each node's intensity scales by current/(current-1) when a
+      // row-partitioned working set is re-split — the cluster is oversized.
+      if (kernels_ > 0 && current_workers > 1) {
+        const double shrunk = peak_intensity_ * static_cast<double>(current_workers) /
+                              static_cast<double>(current_workers - 1);
+        if (shrunk <= intensity_kpi_) {
+          d.scale_in = true;
+          d.recommended_workers = current_workers - 1;
+          d.reason = "peak device oversubscription " + std::to_string(peak_intensity_) +
+                     " clears KPI " + std::to_string(intensity_kpi_) + " on fewer nodes";
+          return d;
+        }
+      }
       d.reason = "eviction intensity within KPI";
       return d;
     }

@@ -46,6 +46,10 @@ GroutRuntime::GroutRuntime(GroutConfig config)
   const Bytes budget = config_.worker_mem.value_or(static_cast<Bytes>(
       config_.worker_mem_headroom * static_cast<double>(node_gpu_mem)));
   governor_ = std::make_unique<MemoryGovernor>(*cluster_, directory_, metrics_, budget);
+  // Drain finalization is event-driven: when the last pinned replica on a
+  // drain-watched worker is released, the governor fires this from a fresh
+  // sim event (no fixed-interval retry poll).
+  governor_->set_drain_listener([this](std::size_t w) { try_finalize_drain(w); });
   cluster_->fabric().set_control_retry(config_.control_retry);
   // Workers that hot-join through the elastic plan are legal fault targets:
   // a kill scheduled after the join sees a real node.
@@ -73,6 +77,69 @@ GroutRuntime::GroutRuntime(GroutConfig config)
       sim.schedule_at(d.at, [this, w = d.worker] { drain_worker(w); });
     }
   }
+  if (config_.autoscale) {
+    GROUT_REQUIRE(config_.autoscale_interval > SimTime::zero(),
+                  "autoscale interval must be positive");
+    scaler_ = std::make_unique<KpiAutoscaler>(config_.cluster.worker_node.tuning, 0.8,
+                                              config_.autoscale_max_workers);
+  }
+}
+
+void GroutRuntime::autoscale_tick() {
+  // Feed the window: only kernel records that finished since the last tick
+  // (per-GPU cursors), from live workers only — a dead node's history says
+  // nothing about the surviving cluster's pressure.
+  gpu_record_cursor_.resize(cluster_->worker_count());
+  for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
+    gpusim::GpuNode& node = cluster_->worker(w).node();
+    gpu_record_cursor_[w].resize(node.gpu_count(), 0);
+    for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+      const std::vector<gpusim::KernelRecord>& recs = node.gpu(g).records();
+      std::size_t& cursor = gpu_record_cursor_[w][g];
+      if (alive_[w]) {
+        for (; cursor < recs.size(); ++cursor) scaler_->observe(recs[cursor].memory);
+      } else {
+        cursor = recs.size();
+      }
+    }
+  }
+
+  std::size_t current = 0;
+  for (std::size_t w = 0; w < schedulable_.size(); ++w) {
+    if (schedulable_[w]) ++current;
+  }
+  const AutoscaleDecision d = scaler_->recommend(current);
+  const SimTime at = cluster_->simulator().now();
+  if (d.scale_out && current < config_.autoscale_max_workers) {
+    const std::size_t target = std::min(d.recommended_workers, config_.autoscale_max_workers);
+    for (std::size_t n = current; n < target; ++n) add_worker();
+    ++metrics_.autoscale_scale_outs;
+    cluster_->tracer().record(sim::TraceCategory::Scheduling,
+                              "autoscale-out:" + std::to_string(target) + ":" + d.reason,
+                              "controller", at, at);
+  } else if (d.scale_in && current > 1) {
+    // Drain the highest-index schedulable worker: joiners leave first, so
+    // repeated scale-in unwinds earlier scale-out instead of churning the
+    // long-lived seed workers.
+    for (std::size_t w = schedulable_.size(); w-- > 0;) {
+      if (!schedulable_[w]) continue;
+      drain_worker(w);
+      ++metrics_.autoscale_scale_ins;
+      cluster_->tracer().record(sim::TraceCategory::Scheduling,
+                                "autoscale-in:worker" + std::to_string(w) + ":" + d.reason,
+                                "controller", at, at);
+      break;
+    }
+  }
+  scaler_->reset();
+  // Quiescent cluster: disarm instead of keeping the event queue non-empty
+  // forever (dispatch() re-arms on the next CE).
+  if (cluster_->simulator().pending_events() == 0) {
+    autoscale_armed_ = false;
+    return;
+  }
+  cluster_->simulator().schedule_after(config_.autoscale_interval,
+                                       [this] { autoscale_tick(); });
 }
 
 std::size_t GroutRuntime::add_worker(const cluster::WorkerSpec& spec) {
@@ -117,10 +184,9 @@ void GroutRuntime::try_finalize_drain(std::size_t w) {
   if (pinned > 0) {
     // Pinned replicas are staged outbound transfers (P2P sources, spills,
     // host fetches) still draining; their completion events release the
-    // pins. Poll instead of driving the event loop: a drain may have been
-    // requested from inside a sim callback, which cannot re-enter it.
-    cluster_->simulator().schedule_after(SimTime::from_us(100.0),
-                                         [this, w] { try_finalize_drain(w); });
+    // pins. Arm the governor's unpin watch: the last release schedules a
+    // fresh sim event that re-enters here — event-driven, no retry poll.
+    governor_->watch_drain(w);
     return;
   }
   cluster_->retire_worker(w);
@@ -136,8 +202,14 @@ void GroutRuntime::record_membership(MembershipEvent::Kind kind, std::size_t w) 
                             "controller", at, at);
 }
 
-GlobalArrayId GroutRuntime::alloc(Bytes bytes, std::string name) {
-  return directory_.register_array(bytes, std::move(name));
+GlobalArrayId GroutRuntime::alloc(Bytes bytes, std::string name, TenantId tenant) {
+  const GlobalArrayId id = directory_.register_array(bytes, std::move(name));
+  if (tenant != kNoTenant) governor_->set_array_owner(id, tenant);
+  return id;
+}
+
+void GroutRuntime::set_tenant_quota(TenantId tenant, Bytes quota) {
+  governor_->set_tenant_quota(tenant, quota);
 }
 
 void GroutRuntime::host_init(GlobalArrayId array) {
@@ -185,6 +257,11 @@ CeTicket GroutRuntime::launch(gpusim::KernelLaunchSpec spec) {
 
 void GroutRuntime::dispatch(dag::VertexId v) {
   const auto t0 = WallClock::now();
+  if (scaler_ && !autoscale_armed_) {
+    autoscale_armed_ = true;
+    cluster_->simulator().schedule_after(config_.autoscale_interval,
+                                         [this] { autoscale_tick(); });
+  }
   dispatching_.insert(v);
   CeRecord& rec = records_.at(v);
   const gpusim::KernelLaunchSpec& spec = rec.spec;
@@ -209,18 +286,26 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   query.alive = &schedulable_;
   query.resident = &governor_->resident_by_worker();
   query.mem_budget = governor_->budget();
+  query.tenant = spec.tenant;
+  query.tenant_resident = &governor_->resident_by_tenant();
+  query.tenant_quota = governor_->tenant_quota(spec.tenant);
   bool explored = false;
   query.explored = &explored;
   const std::size_t w = policy_->assign(query);
   GROUT_CHECK(w < cluster_->worker_count() && schedulable_[w],
               "policy returned an invalid or unschedulable worker");
   if (explored) ++metrics_.exploration_placements;
+  if (query.tenant_quota != 0 && !placement_admissible(query, w)) {
+    // No quota-admissible worker existed and the CE fell through to a live
+    // one: the pressure signal the serving admission controller watches.
+    ++metrics_.quota_overflows;
+  }
 
   // 2. Memory governance, then the data movements implied by the placement
   //    (Algorithm 1, last loop). Cold replicas are evicted *before* the
   //    lazy allocations below so the worker never overshoots its budget;
   //    the CE's own arrays are then accounted and pinned until completion.
-  governor_->make_room(w, params);
+  governor_->make_room(w, params, spec.tenant);
   cluster::Worker& worker = cluster_->worker(w);
   for (const auto& p : spec.params) {
     const auto id = static_cast<GlobalArrayId>(p.array);
@@ -280,6 +365,14 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
   sub.done->on_complete([this, v, attempt] { on_ce_complete(v, attempt); });
   track_pending(std::move(sub.done));
+  if (spec.tenant != kNoTenant && cluster_->tracer().enabled()) {
+    // Serving dispatch decision, tenant-tagged so one shared-cluster trace
+    // can be filtered into per-tenant timelines.
+    const SimTime at = cluster_->simulator().now();
+    cluster_->tracer().record(sim::TraceCategory::Scheduling,
+                              "dispatch:" + spec.name + "->worker" + std::to_string(w),
+                              "controller", at, at, spec.tenant);
+  }
   dispatching_.erase(v);
 }
 
@@ -571,6 +664,9 @@ SchedulerMetrics& GroutRuntime::metrics() {
   for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
     metrics_.worker_high_water[w] = governor_->high_water(w);
   }
+  // Per-tenant accounting (empty outside serve runs).
+  metrics_.tenant_resident = governor_->resident_by_tenant();
+  metrics_.tenant_quota = governor_->quota_by_tenant();
   return metrics_;
 }
 

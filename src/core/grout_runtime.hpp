@@ -25,6 +25,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/elastic.hpp"
+#include "core/autoscaler.hpp"
 #include "core/directory.hpp"
 #include "core/memory_governor.hpp"
 #include "core/metrics.hpp"
@@ -63,6 +64,14 @@ struct GroutConfig {
   /// staged through host DRAM, which the evaluation nodes provision at
   /// several times the GPU capacity.
   double worker_mem_headroom{8.0};
+  /// KPI autoscaling (--autoscale): every `autoscale_interval` of sim time
+  /// the runtime feeds the window's kernel UVM reports to a KpiAutoscaler
+  /// and applies its decision — hot-joining workers on scale-out, draining
+  /// the highest-index schedulable worker on scale-in — up to
+  /// `autoscale_max_workers`. Decisions appear as Scheduling trace spans.
+  bool autoscale{false};
+  SimTime autoscale_interval = SimTime::from_ms(500.0);
+  std::size_t autoscale_max_workers{16};
 };
 
 /// Handle to a launched CE.
@@ -93,7 +102,14 @@ class GroutRuntime {
   // -- user program surface -------------------------------------------------
 
   /// Allocate a logical array; the controller holds the initial copy.
-  GlobalArrayId alloc(Bytes bytes, std::string name);
+  /// `tenant` attributes the array to a serving tenant: its replicas count
+  /// against that tenant's cluster-wide resident bytes and quota.
+  GlobalArrayId alloc(Bytes bytes, std::string name, TenantId tenant = kNoTenant);
+
+  /// Cap a serving tenant's cluster-wide resident replica bytes
+  /// (0 = unlimited). Enforced at placement admission; the serving
+  /// frontend's admission controller consults the same accounting.
+  void set_tenant_quota(TenantId tenant, Bytes quota);
 
   /// Controller-side initialization (Listing 1's host writes): the
   /// controller copy becomes the single authoritative one.
@@ -205,10 +221,14 @@ class GroutRuntime {
   bool wait_controller_copy(GlobalArrayId array);
   /// Finish a drain if worker `w` is quiescent: zero in-flight CEs and no
   /// pinned replicas left. Pinned replicas (outbound staged sends still
-  /// draining) reschedule a retry poll instead of blocking — a drain may be
-  /// requested from inside a sim callback, which cannot re-enter the event
-  /// loop.
+  /// draining) arm the governor's unpin watch instead of blocking — the
+  /// last release fires the drain listener from a fresh sim event, so no
+  /// polling and no re-entering the event loop from a callback.
   void try_finalize_drain(std::size_t w);
+  /// Periodic --autoscale observation window: feed the new KernelRecords of
+  /// every live worker GPU to the KpiAutoscaler, apply its recommendation
+  /// to the elastic membership, and re-arm the next tick.
+  void autoscale_tick();
   void record_membership(MembershipEvent::Kind kind, std::size_t w);
   /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
   static std::vector<GlobalArrayId> unique_arrays(const gpusim::KernelLaunchSpec& spec);
@@ -252,6 +272,15 @@ class GroutRuntime {
   /// input loop is what asked), which single-level replay cannot rebuild.
   std::unordered_set<dag::VertexId> dispatching_;
   std::unique_ptr<net::FaultInjector> injector_;
+  /// --autoscale state: the KPI heuristic plus per-(worker, gpu) cursors
+  /// into Gpu::records() so each observation window feeds only new kernels.
+  std::unique_ptr<KpiAutoscaler> scaler_;
+  std::vector<std::vector<std::size_t>> gpu_record_cursor_;
+  /// Whether the next autoscale tick is scheduled. The tick disarms itself
+  /// when the cluster is quiescent (a perpetual tick would keep the event
+  /// queue non-empty and synchronize() could never drain it); dispatch()
+  /// re-arms it when new work arrives.
+  bool autoscale_armed_{false};
 };
 
 }  // namespace grout::core

@@ -12,7 +12,50 @@ MemoryGovernor::MemoryGovernor(cluster::Cluster& cluster, CoherenceDirectory& di
   high_water_.assign(cluster_.worker_count(), 0);
   replicas_.resize(cluster_.worker_count());
   evicted_once_.resize(cluster_.worker_count());
+  drain_watch_.assign(cluster_.worker_count(), false);
   metrics_.worker_mem_budget = budget_;
+}
+
+void MemoryGovernor::set_array_owner(GlobalArrayId id, TenantId tenant) {
+  if (array_owner_.size() <= id) array_owner_.resize(id + 1, kNoTenant);
+  array_owner_[id] = tenant;
+  if (tenant != kNoTenant && tenant_resident_.size() <= tenant) {
+    tenant_resident_.resize(tenant + 1, 0);
+    if (tenant_quota_.size() <= tenant) tenant_quota_.resize(tenant + 1, 0);
+  }
+}
+
+TenantId MemoryGovernor::array_owner(GlobalArrayId id) const {
+  return id < array_owner_.size() ? array_owner_[id] : kNoTenant;
+}
+
+void MemoryGovernor::set_tenant_quota(TenantId tenant, Bytes quota) {
+  GROUT_REQUIRE(tenant != kNoTenant, "cannot set a quota for the no-tenant id");
+  if (tenant_quota_.size() <= tenant) tenant_quota_.resize(tenant + 1, 0);
+  if (tenant_resident_.size() <= tenant) tenant_resident_.resize(tenant + 1, 0);
+  tenant_quota_[tenant] = quota;
+}
+
+Bytes MemoryGovernor::tenant_quota(TenantId tenant) const {
+  return tenant < tenant_quota_.size() ? tenant_quota_[tenant] : 0;
+}
+
+Bytes MemoryGovernor::tenant_resident(TenantId tenant) const {
+  return tenant < tenant_resident_.size() ? tenant_resident_[tenant] : 0;
+}
+
+void MemoryGovernor::credit_tenant(GlobalArrayId id, Bytes bytes) {
+  const TenantId owner = array_owner(id);
+  if (owner == kNoTenant) return;
+  if (tenant_resident_.size() <= owner) tenant_resident_.resize(owner + 1, 0);
+  tenant_resident_[owner] += bytes;
+}
+
+void MemoryGovernor::debit_tenant(GlobalArrayId id, Bytes bytes) {
+  const TenantId owner = array_owner(id);
+  if (owner == kNoTenant || owner >= tenant_resident_.size()) return;
+  GROUT_CHECK(tenant_resident_[owner] >= bytes, "tenant resident-bytes underflow");
+  tenant_resident_[owner] -= bytes;
 }
 
 Bytes MemoryGovernor::resident_bytes(std::size_t w) const {
@@ -25,7 +68,8 @@ Bytes MemoryGovernor::high_water(std::size_t w) const {
   return high_water_[w];
 }
 
-void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>& params) {
+void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>& params,
+                               TenantId tenant) {
   if (!bounded()) return;
   GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
   Bytes incoming = 0;
@@ -35,7 +79,7 @@ void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>&
     if (!replicas_[w].contains(p.array)) incoming += p.bytes;
   }
   while (resident_[w] + incoming > budget_) {
-    if (!evict_one(w, needed)) break;  // everything left is pinned or needed
+    if (!evict_one(w, needed, tenant)) break;  // everything left is pinned or protected
   }
 }
 
@@ -47,6 +91,7 @@ void MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
   it->second.last_use = cluster_.simulator().now();
   resident_[w] += it->second.bytes;
   high_water_[w] = std::max(high_water_[w], resident_[w]);
+  credit_tenant(id, it->second.bytes);
   if (evicted_once_[w].contains(id)) ++metrics_.refetches;
 }
 
@@ -70,6 +115,18 @@ void MemoryGovernor::unpin(std::size_t w, GlobalArrayId id) {
   if (it == replicas_[w].end()) return;  // dropped with a dead worker
   GROUT_CHECK(it->second.pins > 0, "replica pin count underflow");
   --it->second.pins;
+  if (it->second.pins > 0 || !drain_watch_[w]) return;
+  // Drain-watched worker: if that was its last pin anywhere, notify the
+  // drain listener from a fresh sim event (unpin may run inside another
+  // completion callback, which must not re-enter the runtime inline).
+  for (const auto& [_, rep] : replicas_[w]) {
+    if (rep.pins > 0) return;
+  }
+  drain_watch_[w] = false;
+  if (drain_listener_) {
+    cluster_.simulator().schedule_after(SimTime::zero(),
+                                        [this, w] { drain_listener_(w); });
+  }
 }
 
 void MemoryGovernor::enforce(std::size_t w) {
@@ -84,9 +141,11 @@ void MemoryGovernor::enforce(std::size_t w) {
 void MemoryGovernor::drop_worker(std::size_t w) {
   GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
   cluster_.worker(w).release_all();
+  for (const auto& [id, rep] : replicas_[w]) debit_tenant(id, rep.bytes);
   resident_[w] = 0;
   replicas_[w].clear();
   evicted_once_[w].clear();
+  drain_watch_[w] = false;  // death supersedes a pending drain watch
 }
 
 void MemoryGovernor::add_worker() {
@@ -94,6 +153,12 @@ void MemoryGovernor::add_worker() {
   high_water_.push_back(0);
   replicas_.emplace_back();
   evicted_once_.emplace_back();
+  drain_watch_.push_back(false);
+}
+
+void MemoryGovernor::watch_drain(std::size_t w) {
+  GROUT_REQUIRE(w < drain_watch_.size(), "worker index out of range");
+  drain_watch_[w] = true;
 }
 
 std::size_t MemoryGovernor::drain_worker(std::size_t w) {
@@ -131,7 +196,8 @@ gpusim::EventPtr MemoryGovernor::controller_ready(GlobalArrayId id) const {
   return it == spills_.end() ? nullptr : it->second;
 }
 
-bool MemoryGovernor::evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep) {
+bool MemoryGovernor::evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep,
+                               TenantId requester) {
   const net::NodeId dst = cluster::Cluster::worker_fabric_id(w);
   const net::NetworkFabric& fabric = cluster_.fabric();
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -146,6 +212,15 @@ bool MemoryGovernor::evict_one(std::size_t w, const std::unordered_set<GlobalArr
     const LocationSet& holders = directory_.holders(id);
     const bool holder = holders.worker(w);
     const bool sole = holder && holders.holder_count() == 1;
+    // Tenant isolation: pressure from one serving tenant never evicts a
+    // *different* tenant's up-to-date replica — admission control is the
+    // place that absorbs the overload. Stale replicas are fair game (the
+    // worker would refetch them regardless), as is everything during
+    // tenant-agnostic enforcement (requester == kNoTenant).
+    if (requester != kNoTenant && holder) {
+      const TenantId owner = array_owner(id);
+      if (owner != kNoTenant && owner != requester) continue;
+    }
     // Cost model: bytes x refetch time over the bandwidth matrix. Stale
     // replicas would be refetched regardless, so they cost nothing.
     double cost = 0.0;
@@ -202,6 +277,7 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
   cluster_.worker(w).release_array(id, free_after);
 
   resident_[w] -= rep.bytes;
+  debit_tenant(id, rep.bytes);
   replicas_[w].erase(id);
   evicted_once_[w].insert(id);
   ++metrics_.evictions;

@@ -29,6 +29,7 @@
 // (location "workerN") and as SchedulerMetrics counters.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -56,12 +57,38 @@ class MemoryGovernor {
   /// Per-worker resident replica bytes (for PlacementQuery::resident).
   [[nodiscard]] const std::vector<Bytes>& resident_by_worker() const { return resident_; }
 
+  // -- multi-tenant accounting ----------------------------------------------
+
+  /// Record which serving tenant owns array `id` (kNoTenant = shared /
+  /// single-program work). Replicas of the array count against the owner's
+  /// cluster-wide resident bytes and its quota, and other tenants' memory
+  /// pressure cannot evict its up-to-date copies.
+  void set_array_owner(GlobalArrayId id, TenantId tenant);
+  [[nodiscard]] TenantId array_owner(GlobalArrayId id) const;
+
+  /// Cap tenant `t`'s cluster-wide resident replica bytes (0 = unlimited).
+  /// The quota is enforced at admission (placement_admissible) and by the
+  /// serving frontend; the governor's accounting is what both consult.
+  void set_tenant_quota(TenantId tenant, Bytes quota);
+  [[nodiscard]] Bytes tenant_quota(TenantId tenant) const;
+  [[nodiscard]] Bytes tenant_resident(TenantId tenant) const;
+  /// Cluster-wide resident bytes per tenant, indexed by TenantId (for
+  /// PlacementQuery::tenant_resident).
+  [[nodiscard]] const std::vector<Bytes>& resident_by_tenant() const {
+    return tenant_resident_;
+  }
+  [[nodiscard]] const std::vector<Bytes>& quota_by_tenant() const { return tenant_quota_; }
+
   // -- dispatch-time hooks ---------------------------------------------------
 
   /// Evict cold replicas on `w` until the CE's incoming arrays fit within
   /// budget. Best effort: pinned replicas and the CE's own arrays are
-  /// untouchable. Call before the lazy ensure_array allocations.
-  void make_room(std::size_t w, const std::vector<PlacementParam>& params);
+  /// untouchable, and when `tenant` is a serving tenant, so are *other*
+  /// tenants' up-to-date replicas (tenant isolation: memory pressure from
+  /// one tenant queues or sheds at admission instead of evicting a
+  /// neighbor). Call before the lazy ensure_array allocations.
+  void make_room(std::size_t w, const std::vector<PlacementParam>& params,
+                 TenantId tenant = kNoTenant);
 
   /// A local allocation for `id` now exists on `w` (after ensure_array).
   void note_ensure(std::size_t w, GlobalArrayId id);
@@ -100,6 +127,19 @@ class MemoryGovernor {
   /// be ordered after it.
   [[nodiscard]] gpusim::EventPtr controller_ready(GlobalArrayId id) const;
 
+  // -- drain completion (event-driven) ---------------------------------------
+
+  /// Callback fired (from a fresh sim event, never inline) when the last
+  /// pinned replica on a drain-watched worker is released. Replaces the
+  /// runtime's fixed-interval retry poll: drain finalization now reacts to
+  /// the unpin that unblocked it instead of busy-waiting.
+  void set_drain_listener(std::function<void(std::size_t)> listener) {
+    drain_listener_ = std::move(listener);
+  }
+
+  /// Arm the unpin watch for worker `w` (drain blocked on pinned replicas).
+  void watch_drain(std::size_t w);
+
  private:
   struct Replica {
     Bytes bytes{0};
@@ -108,9 +148,15 @@ class MemoryGovernor {
   };
 
   /// Evict the cheapest-to-refetch cold replica on `w` (skipping `keep`).
-  /// Returns false when nothing is evictable.
-  bool evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep);
+  /// When `requester` is a serving tenant, other tenants' up-to-date
+  /// replicas are off limits (stale ones are fair game — the worker would
+  /// refetch them anyway). Returns false when nothing is evictable.
+  bool evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep,
+                 TenantId requester = kNoTenant);
   void evict(std::size_t w, GlobalArrayId id, bool sole_holder);
+  /// Adjust the owning tenant's cluster-wide resident accounting.
+  void credit_tenant(GlobalArrayId id, Bytes bytes);
+  void debit_tenant(GlobalArrayId id, Bytes bytes);
   /// Stage + send `w`'s sole up-to-date copy of `id` to the controller.
   /// Returns the "host copy consistent" event the local free must wait on.
   gpusim::EventPtr spill_to_controller(std::size_t w, GlobalArrayId id, Bytes bytes);
@@ -127,6 +173,15 @@ class MemoryGovernor {
   std::vector<std::unordered_set<GlobalArrayId>> evicted_once_;
   /// In-flight spills by array (erased when the transfer lands).
   std::unordered_map<GlobalArrayId, gpusim::EventPtr> spills_;
+  /// Owning tenant per array id (kNoTenant = shared); grown lazily.
+  std::vector<TenantId> array_owner_;
+  /// Cluster-wide resident replica bytes and quota per tenant.
+  std::vector<Bytes> tenant_resident_;
+  std::vector<Bytes> tenant_quota_;
+  /// Workers whose drain waits on pinned replicas; unpin-to-zero fires the
+  /// drain listener via an immediate sim event.
+  std::vector<bool> drain_watch_;
+  std::function<void(std::size_t)> drain_listener_;
 };
 
 }  // namespace grout::core

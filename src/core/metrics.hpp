@@ -59,6 +59,20 @@ struct SchedulerMetrics {
   /// path by which a fresh joiner, holding 0% of any CE's inputs, can
   /// attract its first CE.
   std::uint64_t exploration_placements{0};
+
+  // Multi-tenant serving (synced from the governor's per-tenant accounting;
+  // empty outside serve runs).
+  /// Cluster-wide resident replica bytes per tenant, indexed by TenantId.
+  std::vector<Bytes> tenant_resident;
+  /// Configured per-tenant memory quota (0 = unlimited).
+  std::vector<Bytes> tenant_quota;
+  /// CEs whose placement had no quota-admissible worker and fell back to a
+  /// live one anyway (the quota pressure signal admission control watches).
+  std::uint64_t quota_overflows{0};
+
+  // KPI autoscaler (--autoscale): decisions actually applied to membership.
+  std::uint64_t autoscale_scale_outs{0};  ///< workers hot-joined by the autoscaler
+  std::uint64_t autoscale_scale_ins{0};   ///< drains initiated by the autoscaler
 };
 
 }  // namespace grout::core

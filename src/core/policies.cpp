@@ -46,10 +46,13 @@ std::size_t next_placement_rr(const PlacementQuery& q, std::size_t& cursor) {
 }  // namespace
 
 bool placement_admissible(const PlacementQuery& q, std::size_t w) {
-  if (q.mem_budget == 0 || q.resident == nullptr || w >= q.resident->size() ||
-      q.params == nullptr || q.directory == nullptr) {
-    return true;
-  }
+  if (q.params == nullptr || q.directory == nullptr) return true;
+  const bool check_worker =
+      q.mem_budget != 0 && q.resident != nullptr && w < q.resident->size();
+  const bool check_tenant = q.tenant_quota != 0 && q.tenant != kNoTenant &&
+                            q.tenant_resident != nullptr &&
+                            q.tenant < q.tenant_resident->size();
+  if (!check_worker && !check_tenant) return true;
   Bytes incoming = 0;
   for (const PlacementParam& p : *q.params) {
     // Outputs allocate on the worker too, so needs_data does not matter;
@@ -57,7 +60,11 @@ bool placement_admissible(const PlacementQuery& q, std::size_t w) {
     // allocated there".
     if (!q.directory->holders(p.array).worker(w)) incoming += p.bytes;
   }
-  return (*q.resident)[w] + incoming <= q.mem_budget;
+  if (check_worker && (*q.resident)[w] + incoming > q.mem_budget) return false;
+  // Tenant quota caps the tenant's *cluster-wide* replica footprint: new
+  // copies materialized by this placement count against it on any worker.
+  if (check_tenant && (*q.tenant_resident)[q.tenant] + incoming > q.tenant_quota) return false;
+  return true;
 }
 
 const char* to_string(PolicyKind k) {

@@ -69,6 +69,13 @@ struct PlacementQuery {
   /// they drive the capacity admission check.
   const std::vector<Bytes>* resident{nullptr};
   Bytes mem_budget{0};
+  /// Serving tenant submitting the CE, with its cluster-wide resident bytes
+  /// and memory quota (null/0 = no quota accounting; single-program runs).
+  /// Admissibility additionally requires the tenant's projected residency to
+  /// stay within its quota, so one tenant cannot expand onto every worker.
+  TenantId tenant{kNoTenant};
+  const std::vector<Bytes>* tenant_resident{nullptr};
+  Bytes tenant_quota{0};
   /// Out-param (may be null): a min-transfer policy sets it when the
   /// placement came from the exploration fallback instead of exploitation —
   /// how fresh joiners with no resident data attract their first CE. The

@@ -143,10 +143,10 @@ SimTime Gpu::execute_kernel(const KernelLaunchSpec& spec) {
 
   records_.push_back(KernelRecord{spec.name, start, end, compute, mem});
   if (tracer_) {
-    tracer_->record(sim::TraceCategory::Kernel, spec.name, location_, start, end);
+    tracer_->record(sim::TraceCategory::Kernel, spec.name, location_, start, end, spec.tenant);
     if (mem.fault_time > SimTime::zero()) {
       tracer_->record(sim::TraceCategory::Migration, spec.name + "/faults", location_, start,
-                      start + mem.fault_time);
+                      start + mem.fault_time, spec.tenant);
     }
   }
   return end;

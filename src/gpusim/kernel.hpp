@@ -21,6 +21,9 @@ struct KernelLaunchSpec {
   double flops{0.0};
   uvm::Parallelism parallelism{uvm::Parallelism::High};
   std::vector<uvm::ParamAccess> params;
+  /// Serving tenant that submitted this CE (kNoTenant outside serve runs);
+  /// carried through the wire format so worker-side spans stay attributable.
+  TenantId tenant{kNoTenant};
 };
 
 /// Outcome of a finished kernel, for traces and tests.

@@ -102,6 +102,7 @@ Bytes encode_ce(const gpusim::KernelLaunchSpec& spec, std::vector<std::byte>& ou
   w.put_string(spec.name);
   w.put<double>(spec.flops);
   w.put<std::uint8_t>(static_cast<std::uint8_t>(spec.parallelism));
+  w.put<TenantId>(spec.tenant);
   GROUT_REQUIRE(spec.params.size() <= UINT16_MAX, "too many CE parameters");
   w.put<std::uint16_t>(static_cast<std::uint16_t>(spec.params.size()));
   for (const uvm::ParamAccess& p : spec.params) {
@@ -128,6 +129,7 @@ gpusim::KernelLaunchSpec decode_ce(std::span<const std::byte> wire) {
   GROUT_REQUIRE(parallelism <= static_cast<std::uint8_t>(uvm::Parallelism::Massive),
                 "bad parallelism class on the wire");
   spec.parallelism = static_cast<uvm::Parallelism>(parallelism);
+  spec.tenant = r.take<TenantId>();
   const auto count = r.take<std::uint16_t>();
   spec.params.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
@@ -150,9 +152,9 @@ gpusim::KernelLaunchSpec decode_ce(std::span<const std::byte> wire) {
 }
 
 Bytes encoded_ce_size(const gpusim::KernelLaunchSpec& spec) {
-  // header(1) + name(2 + len) + flops(8) + parallelism(1) + count(2)
-  // + 30 bytes per parameter (u32 + 2x u8 + f64 + 2x u64).
-  return 14 + spec.name.size() + spec.params.size() * 30;
+  // header(1) + name(2 + len) + flops(8) + parallelism(1) + tenant(4)
+  // + count(2) + 30 bytes per parameter (u32 + 2x u8 + f64 + 2x u64).
+  return 18 + spec.name.size() + spec.params.size() * 30;
 }
 
 }  // namespace grout::net

@@ -54,9 +54,15 @@ const char* to_string(TraceCategory c) {
 
 void Tracer::record(TraceCategory category, std::string name, std::string location,
                     SimTime begin, SimTime end) {
+  record(category, std::move(name), std::move(location), begin, end, kNoTenant);
+}
+
+void Tracer::record(TraceCategory category, std::string name, std::string location,
+                    SimTime begin, SimTime end, TenantId tenant) {
   if (!enabled_) return;
   GROUT_REQUIRE(end >= begin, "trace span ends before it begins");
-  spans_.push_back(TraceSpan{category, std::move(name), std::move(location), begin, end});
+  spans_.push_back(
+      TraceSpan{category, std::move(name), std::move(location), begin, end, tenant});
 }
 
 std::map<TraceCategory, SimTime> Tracer::totals_by_category() const {
@@ -76,7 +82,9 @@ std::string Tracer::to_chrome_json() const {
     first = false;
     os << "\n  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \"" << to_string(s.category)
        << "\", \"ph\": \"X\", \"ts\": " << s.begin.us() << ", \"dur\": " << (s.end - s.begin).us()
-       << ", \"pid\": 0, \"tid\": \"" << json_escape(s.location) << "\"}";
+       << ", \"pid\": 0, \"tid\": \"" << json_escape(s.location) << "\"";
+    if (s.tenant != kNoTenant) os << ", \"args\": {\"tenant\": " << s.tenant << "}";
+    os << "}";
   }
   os << "\n]\n";
   return os.str();

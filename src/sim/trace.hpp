@@ -32,6 +32,9 @@ struct TraceSpan {
   std::string location;  // e.g. "node0/gpu1" or "controller"
   SimTime begin;
   SimTime end;
+  /// Serving tenant this span belongs to; kNoTenant for single-program runs
+  /// and cluster-internal work (evictions, membership changes).
+  TenantId tenant{kNoTenant};
 };
 
 class Tracer {
@@ -41,6 +44,10 @@ class Tracer {
 
   void record(TraceCategory category, std::string name, std::string location, SimTime begin,
               SimTime end);
+  /// Tenant-tagged overload: span carries the submitting tenant's id so
+  /// per-tenant timelines can be filtered out of one shared-cluster trace.
+  void record(TraceCategory category, std::string name, std::string location, SimTime begin,
+              SimTime end, TenantId tenant);
 
   [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
   void clear() { spans_.clear(); }

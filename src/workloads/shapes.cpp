@@ -1,0 +1,251 @@
+#include "workloads/shapes.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace grout::workloads {
+
+namespace {
+
+// The polyglot suite expresses compute cost as flops-per-thread on a native
+// kernel; a ShapeCe carries the total, so each builder multiplies by the
+// launch's thread count. The Black–Scholes CUDA kernel has no declared
+// per-thread cost — ~60 flops covers its log/exp/normcdf chain.
+constexpr double kBsFlopsPerElem = 60.0;
+
+std::string part_name(const char* base, std::size_t j) {
+  return base + std::to_string(j);
+}
+
+ProgramShape bs_shape(const WorkloadParams& p) {
+  ProgramShape shape;
+  const std::size_t elems_total = p.footprint / (3 * 4);
+  const std::size_t elems = std::max<std::size_t>(1, elems_total / p.partitions);
+  const Bytes bytes = elems * 4;
+
+  std::vector<std::size_t> spot(p.partitions), call(p.partitions), put(p.partitions);
+  for (std::size_t j = 0; j < p.partitions; ++j) {
+    spot[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("spot", j), bytes, /*host_init=*/true});
+    call[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("call", j), bytes, false});
+    put[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("put", j), bytes, false});
+  }
+  for (std::size_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      ShapeCe ce;
+      ce.name = "bs";
+      ce.flops = kBsFlopsPerElem * static_cast<double>(elems);
+      ce.parallelism = uvm::Parallelism::Massive;
+      ce.params = {{spot[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}},
+                   {call[j], uvm::AccessMode::Write, uvm::StreamingPattern{}, {}},
+                   {put[j], uvm::AccessMode::Write, uvm::StreamingPattern{}, {}}};
+      shape.ces.push_back(std::move(ce));
+    }
+  }
+  return shape;
+}
+
+ProgramShape mv_shape(const WorkloadParams& p) {
+  ProgramShape shape;
+  std::size_t n = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(p.footprint) / 4.0));
+  n = std::max<std::size_t>(n, p.partitions);
+  const std::size_t rows = n / p.partitions;
+
+  const std::size_t x = shape.arrays.size();
+  shape.arrays.push_back({"x", n * 4, true});
+  std::vector<std::size_t> a, y(p.partitions);
+  if (p.shared_matrix) {
+    a.push_back(shape.arrays.size());
+    shape.arrays.push_back({"A", rows * p.partitions * n * 4, true});
+  }
+  for (std::size_t j = 0; j < p.partitions; ++j) {
+    if (!p.shared_matrix) {
+      a.push_back(shape.arrays.size());
+      shape.arrays.push_back({part_name("A", j), rows * n * 4, true});
+    }
+    y[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("y", j), rows * 4, false});
+  }
+  for (std::size_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      ShapeCe ce;
+      ce.name = "mv";
+      ce.flops = 2.0 * static_cast<double>(n) * static_cast<double>(rows);
+      ce.parallelism = uvm::Parallelism::Massive;
+      uvm::ByteRange a_range{};
+      if (p.shared_matrix) {
+        const Bytes row_bytes = n * 4;
+        a_range = uvm::ByteRange{j * rows * row_bytes, (j + 1) * rows * row_bytes};
+      }
+      ce.params = {{a[p.shared_matrix ? 0 : j], uvm::AccessMode::Read,
+                    uvm::StreamingPattern{}, a_range},
+                   {x, uvm::AccessMode::Read, uvm::HotReusePattern{}, {}},
+                   {y[j], uvm::AccessMode::Write, uvm::StreamingPattern{}, {}}};
+      shape.ces.push_back(std::move(ce));
+    }
+  }
+  return shape;
+}
+
+ProgramShape cg_shape(const WorkloadParams& p) {
+  ProgramShape shape;
+  std::size_t n = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(p.footprint) / 4.0));
+  n = std::max<std::size_t>(n, p.partitions);
+  const std::size_t rows = n / p.partitions;
+
+  std::vector<std::size_t> a(p.partitions), t(p.partitions);
+  for (std::size_t j = 0; j < p.partitions; ++j) {
+    a[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("A", j), rows * n * 4, true});
+    t[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("t", j), rows * 4, false});
+  }
+  const std::size_t r = shape.arrays.size();
+  shape.arrays.push_back({"r", n * 4, true});
+  const std::size_t pv = shape.arrays.size();
+  shape.arrays.push_back({"p", n * 4, true});
+  const std::size_t x = shape.arrays.size();
+  shape.arrays.push_back({"x", n * 4, true});
+
+  for (std::size_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      ShapeCe ce;
+      ce.name = "cg-spmv";
+      ce.flops = 2.0 * static_cast<double>(n) * static_cast<double>(rows);
+      ce.parallelism = uvm::Parallelism::High;
+      ce.params = {{a[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}},
+                   {pv, uvm::AccessMode::Read, uvm::HotReusePattern{}, {}},
+                   {t[j], uvm::AccessMode::Write, uvm::StreamingPattern{}, {}}};
+      shape.ces.push_back(std::move(ce));
+    }
+    ShapeCe step;
+    step.name = "cg-step";
+    step.flops = 12.0 * static_cast<double>(n);
+    step.parallelism = uvm::Parallelism::Moderate;
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      step.params.push_back({t[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}});
+    }
+    step.params.push_back({r, uvm::AccessMode::ReadWrite, uvm::StreamingPattern{}, {}});
+    step.params.push_back({pv, uvm::AccessMode::ReadWrite, uvm::StreamingPattern{}, {}});
+    step.params.push_back({x, uvm::AccessMode::ReadWrite, uvm::StreamingPattern{}, {}});
+    shape.ces.push_back(std::move(step));
+  }
+  return shape;
+}
+
+ProgramShape mle_shape(const WorkloadParams& p) {
+  ProgramShape shape;
+  constexpr std::size_t kFeaturesPerSample = 64;
+  const std::size_t elems_total = p.footprint / (4 * 4);
+  std::size_t elems =
+      std::max<std::size_t>(kFeaturesPerSample, elems_total / p.partitions);
+  elems -= elems % kFeaturesPerSample;
+  const Bytes bytes = elems * 4;
+
+  std::vector<std::size_t> x(p.partitions), u(p.partitions), v(p.partitions),
+      w(p.partitions);
+  for (std::size_t j = 0; j < p.partitions; ++j) {
+    x[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("X", j), bytes, true});
+    u[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("u", j), bytes, false});
+    v[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("v", j), bytes, false});
+    w[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("w", j), bytes, false});
+  }
+  const std::size_t samples = elems / kFeaturesPerSample * p.partitions;
+  const std::size_t res = shape.arrays.size();
+  shape.arrays.push_back({"res", samples * 4, false});
+
+  const auto stage = [&](const char* name, double per_thread, std::size_t in,
+                         std::size_t out) {
+    ShapeCe ce;
+    ce.name = name;
+    ce.flops = per_thread * static_cast<double>(elems);
+    ce.parallelism = uvm::Parallelism::High;
+    ce.params = {{in, uvm::AccessMode::Read, uvm::StreamingPattern{}, {}},
+                 {out, uvm::AccessMode::Write, uvm::StreamingPattern{}, {}}};
+    shape.ces.push_back(std::move(ce));
+  };
+  for (std::size_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      // Pipeline A: X -> u -> v (heavy); pipeline B: X -> w (light).
+      stage("mle-a", 400.0, x[j], u[j]);
+      stage("mle-a2", 80.0, u[j], v[j]);
+      stage("mle-b", 30.0, x[j], w[j]);
+    }
+    ShapeCe combine;
+    combine.name = "mle-combine";
+    combine.flops = 16.0 * static_cast<double>(samples);
+    combine.parallelism = uvm::Parallelism::Moderate;
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      combine.params.push_back({v[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}});
+    }
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      combine.params.push_back({w[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}});
+    }
+    combine.params.push_back({res, uvm::AccessMode::Write, uvm::StreamingPattern{}, {}});
+    shape.ces.push_back(std::move(combine));
+  }
+  return shape;
+}
+
+ProgramShape irr_shape(const WorkloadParams& p) {
+  ProgramShape shape;
+  const std::size_t table_len = std::max<std::size_t>(p.footprint / 4, 64);
+  const std::size_t lookups =
+      std::max<std::size_t>(table_len / (16 * p.partitions), 16);
+
+  const std::size_t table = shape.arrays.size();
+  shape.arrays.push_back({"table", table_len * 4, true});
+  std::vector<std::size_t> idx(p.partitions), out(p.partitions);
+  for (std::size_t j = 0; j < p.partitions; ++j) {
+    idx[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("idx", j), lookups * 4, true});
+    out[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("out", j), lookups * 4, false});
+  }
+  for (std::size_t iter = 0; iter < p.iterations; ++iter) {
+    for (std::size_t j = 0; j < p.partitions; ++j) {
+      ShapeCe ce;
+      ce.name = "gather";
+      ce.flops = 4.0 * static_cast<double>(lookups);
+      ce.parallelism = uvm::Parallelism::High;
+      ce.params = {{table, uvm::AccessMode::Read, uvm::RandomPattern{0.25, p.seed}, {}},
+                   {idx[j], uvm::AccessMode::Read, uvm::StreamingPattern{}, {}},
+                   {out[j], uvm::AccessMode::Write, uvm::StreamingPattern{}, {}}};
+      shape.ces.push_back(std::move(ce));
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+Bytes ProgramShape::footprint() const {
+  Bytes total = 0;
+  for (const ShapeArray& a : arrays) total += a.bytes;
+  return total;
+}
+
+ProgramShape make_program_shape(WorkloadKind kind, const WorkloadParams& params) {
+  GROUT_REQUIRE(params.partitions >= 1, "at least one partition");
+  GROUT_REQUIRE(params.iterations >= 1, "at least one iteration");
+  switch (kind) {
+    case WorkloadKind::BlackScholes: return bs_shape(params);
+    case WorkloadKind::Mle: return mle_shape(params);
+    case WorkloadKind::Cg: return cg_shape(params);
+    case WorkloadKind::Mv: return mv_shape(params);
+    case WorkloadKind::Irregular: return irr_shape(params);
+  }
+  GROUT_CHECK(false, "unhandled workload kind");
+  return {};
+}
+
+}  // namespace grout::workloads

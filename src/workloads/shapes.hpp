@@ -1,0 +1,62 @@
+// Context-free program shapes for the serving frontend.
+//
+// The workload suite in workloads.hpp builds arrays and kernels through a
+// polyglot::Context, which owns the whole runtime — one program per
+// cluster. The serving frontend instead multiplexes many tenant programs
+// into ONE shared GroutRuntime, so it needs the workloads' array/CE
+// structure as plain data it can instantiate per program (with
+// tenant-prefixed array names and tenant-tagged CEs): a ProgramShape.
+//
+// Shapes mirror the real workloads partition-for-partition — same arrays,
+// same access modes/patterns, same CE ordering — so serving traffic
+// stresses the scheduler the way the Figure 5 suite does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "uvm/access.hpp"
+#include "workloads/workloads.hpp"
+
+namespace grout::workloads {
+
+/// One CE parameter: an index into ProgramShape::arrays plus the access
+/// descriptor a KernelLaunchSpec wants.
+struct ShapeParam {
+  std::size_t array{0};
+  uvm::AccessMode mode{uvm::AccessMode::Read};
+  uvm::AccessPattern pattern{uvm::StreamingPattern{}};
+  uvm::ByteRange range{};  ///< empty = the whole array
+};
+
+struct ShapeCe {
+  std::string name;
+  double flops{0.0};
+  uvm::Parallelism parallelism{uvm::Parallelism::High};
+  std::vector<ShapeParam> params;
+};
+
+struct ShapeArray {
+  std::string name;
+  Bytes bytes{0};
+  /// Controller-side initialization before the first CE (program inputs);
+  /// false for arrays the program only ever writes.
+  bool host_init{false};
+};
+
+struct ProgramShape {
+  std::vector<ShapeArray> arrays;
+  /// CEs in issue order (the Global DAG derives the real dependencies from
+  /// the access modes, exactly as for Context-driven programs).
+  std::vector<ShapeCe> ces;
+
+  /// Total bytes across all arrays — what admission control charges a
+  /// program against worker budgets and the tenant quota.
+  [[nodiscard]] Bytes footprint() const;
+};
+
+/// Build the shape of one `kind` program under `params`.
+ProgramShape make_program_shape(WorkloadKind kind, const WorkloadParams& params);
+
+}  // namespace grout::workloads

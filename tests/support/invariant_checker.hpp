@@ -15,7 +15,11 @@
 //                  the worker it was placed on (the directory is updated
 //                  eagerly at dispatch);
 //   * decommission: a drained worker holds zero replicas — no resident
-//                  bytes and no holder bit in any directory entry.
+//                  bytes and no holder bit in any directory entry;
+//   * tenancy:     per-tenant resident accounting never exceeds what the
+//                  workers actually hold, a tenant-tagged CE only touches
+//                  its own (or shared) arrays, and quotas hold whenever
+//                  placement never had to overflow one.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -48,6 +52,16 @@ class InvariantChecker {
             << "drained worker " << w << " still a holder of " << dir.name_of(id);
       }
     }
+    // Tenant accounting consistency: owned replicas are a subset of all
+    // replicas, so the per-tenant resident sum can never exceed the
+    // per-worker resident sum.
+    Bytes owned = 0;
+    for (const Bytes b : gov.resident_by_tenant()) owned += b;
+    Bytes held = 0;
+    for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
+      held += gov.resident_bytes(w);
+    }
+    EXPECT_LE(owned, held) << "tenant resident accounting exceeds worker residency";
   }
 
   /// A CE was just launched: every parameter must be up-to-date on the
@@ -63,6 +77,15 @@ class InvariantChecker {
                                                        ticket.worker))
           << "param " << p.array << " not up to date on worker " << ticket.worker
           << " right after placement";
+      // Tenant isolation: a tenant-tagged CE may only touch its own arrays
+      // and shared (unowned) ones — never another tenant's.
+      if (spec.tenant != kNoTenant) {
+        const TenantId owner =
+            rt_.governor().array_owner(static_cast<core::GlobalArrayId>(p.array));
+        EXPECT_TRUE(owner == spec.tenant || owner == kNoTenant)
+            << "tenant " << spec.tenant << " CE touches array " << p.array
+            << " owned by tenant " << owner;
+      }
     }
     check_always();
   }
@@ -71,10 +94,21 @@ class InvariantChecker {
   /// generator calls it after synchronize() rather than mid-burst.
   void check_quiescent() {
     const core::MemoryGovernor& gov = rt_.governor();
-    if (!gov.bounded()) return;
-    for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
-      EXPECT_LE(gov.resident_bytes(w), gov.budget())
-          << "worker " << w << " over budget at a quiescent point";
+    if (gov.bounded()) {
+      for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
+        EXPECT_LE(gov.resident_bytes(w), gov.budget())
+            << "worker " << w << " over budget at a quiescent point";
+      }
+    }
+    // Tenant quotas hold exactly when placement never had to overflow one
+    // (an overflow falls back to a live worker by design and is counted).
+    if (rt_.metrics().quota_overflows == 0) {
+      const std::vector<Bytes>& quotas = gov.quota_by_tenant();
+      for (std::size_t t = 0; t < quotas.size(); ++t) {
+        if (quotas[t] == 0) continue;
+        EXPECT_LE(gov.tenant_resident(static_cast<TenantId>(t)), quotas[t])
+            << "tenant " << t << " over quota at a quiescent point";
+      }
     }
   }
 

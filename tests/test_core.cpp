@@ -526,9 +526,37 @@ TEST(AutoscalerTest, QuietWithinKpi) {
   uvm::AccessReport report;
   report.oversubscription = 0.5;
   scaler.observe(report);
+  // Far below the KPI on 2 nodes: one node would still clear it, so the
+  // cluster is oversized — scale in (one worker per window), never out.
   const AutoscaleDecision d = scaler.recommend(2);
   EXPECT_FALSE(d.scale_out);
+  EXPECT_TRUE(d.scale_in);
+  EXPECT_EQ(d.recommended_workers, 1u);
+}
+
+TEST(AutoscalerTest, HoldsWhenShrinkingWouldBreachKpi) {
+  const uvm::UvmTuning tuning;
+  KpiAutoscaler scaler(tuning, 0.8);
+  uvm::AccessReport report;
+  // KPI = 2.6 * 0.8 = 2.08; 1.5 is within it on 2 nodes, but re-splitting
+  // over 1 node doubles the pressure to 3.0 — past the KPI, so hold.
+  report.oversubscription = 1.5;
+  scaler.observe(report);
+  const AutoscaleDecision d = scaler.recommend(2);
+  EXPECT_FALSE(d.scale_out);
+  EXPECT_FALSE(d.scale_in);
   EXPECT_EQ(d.recommended_workers, 2u);
+}
+
+TEST(AutoscalerTest, NeverScalesInBelowOneWorker) {
+  const uvm::UvmTuning tuning;
+  KpiAutoscaler scaler(tuning);
+  uvm::AccessReport report;
+  report.oversubscription = 0.1;
+  scaler.observe(report);
+  const AutoscaleDecision d = scaler.recommend(1);
+  EXPECT_FALSE(d.scale_in);
+  EXPECT_EQ(d.recommended_workers, 1u);
 }
 
 TEST(AutoscalerTest, RecommendsScaleOutBeyondKpi) {

@@ -81,12 +81,33 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
   test::InvariantChecker chk(rt);
   ScenarioOutcome out;
 
+  // Every third seed serves two tenants through the same runtime: arrays
+  // get owners (or stay shared), tenants get quotas, and every CE is tagged
+  // with the tenant whose arrays it touches — the serving frontend's
+  // launch discipline, interleaved with joins/drains/kills.
+  const bool multi_tenant = seed % 3 == 1;
+  constexpr std::size_t kTenants = 2;
+  if (multi_tenant) {
+    for (TenantId t = 0; t < kTenants; ++t) {
+      const Bytes quota = rng.next_below(2) == 0 ? Bytes{0} : (6 + rng.next_below(10)) * 1_MiB;
+      rt.set_tenant_quota(t, quota);
+    }
+  }
+
   const std::size_t n_arrays = 3 + rng.next_below(6);
   std::vector<GlobalArrayId> arrays;
+  std::vector<TenantId> owners;
   arrays.reserve(n_arrays);
+  owners.reserve(n_arrays);
   for (std::size_t i = 0; i < n_arrays; ++i) {
+    // First three arrays pin down one per category so every tenant always
+    // has something eligible to touch; the rest roll.
+    const std::uint64_t cat = i < 3 ? i : rng.next_below(3);
+    const TenantId owner =
+        multi_tenant && cat < kTenants ? static_cast<TenantId>(cat) : kNoTenant;
     arrays.push_back(
-        rt.alloc((1 + rng.next_below(4)) * 1_MiB, "a" + std::to_string(i)));
+        rt.alloc((1 + rng.next_below(4)) * 1_MiB, "a" + std::to_string(i), owner));
+    owners.push_back(owner);
     rt.host_init(arrays.back());
   }
 
@@ -105,6 +126,11 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
       gpusim::KernelLaunchSpec spec;
       spec.name = "ce" + std::to_string(s);
       spec.flops = 1e8 * static_cast<double>(1 + rng.next_below(50));
+      // Multi-tenant seeds tag the CE and restrict it to the tenant's own
+      // arrays plus shared ones (the frontend never crosses tenants).
+      const TenantId ce_tenant =
+          multi_tenant ? static_cast<TenantId>(rng.next_below(kTenants)) : kNoTenant;
+      spec.tenant = ce_tenant;
       const std::size_t n_params = 1 + rng.next_below(4);
       // A kill destroys sole copies, and single-level lineage replay can
       // rebuild them only for programs without read-write cycles: a CE that
@@ -117,7 +143,9 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
           rng.next_below(2) == 0 ? uvm::AccessMode::Read : uvm::AccessMode::Write;
       std::vector<GlobalArrayId> picked;
       for (std::size_t p = 0; p < n_params; ++p) {
-        const GlobalArrayId a = arrays[rng.next_below(arrays.size())];
+        const std::size_t idx = rng.next_below(arrays.size());
+        if (multi_tenant && owners[idx] != kNoTenant && owners[idx] != ce_tenant) continue;
+        const GlobalArrayId a = arrays[idx];
         if (std::find(picked.begin(), picked.end(), a) != picked.end()) continue;
         picked.push_back(a);
         const std::uint64_t m = rng.next_below(3);
@@ -126,6 +154,13 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
                                      : m == 1  ? uvm::AccessMode::Write
                                                : uvm::AccessMode::ReadWrite;
         spec.params.push_back(uvm::ParamAccess{a, {}, mode, uvm::StreamingPattern{}});
+      }
+      if (spec.params.empty()) {
+        // Every roll landed on the other tenant's arrays; fall back to the
+        // tenant's own pinned array so the CE stays well-formed.
+        spec.params.push_back(uvm::ParamAccess{
+            arrays[ce_tenant], {}, uniform_ce ? ce_mode : uvm::AccessMode::Read,
+            uvm::StreamingPattern{}});
       }
       const gpusim::KernelLaunchSpec copy = spec;
       const CeTicket t = rt.launch(std::move(spec));

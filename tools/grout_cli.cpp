@@ -23,6 +23,7 @@
 #include "net/fault.hpp"
 #include "report/table.hpp"
 #include "script/script.hpp"
+#include "serve/serve.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -53,12 +54,20 @@ struct Options {
   std::optional<std::string> trace_path;
   net::FaultPlan fault_plan;
   cluster::ElasticPlan elastic_plan;
+  bool autoscale = false;
+  // serve command
+  std::size_t tenants = 2;
+  std::string arrival = "closed:1";
+  std::vector<double> tenant_weights;    // cycled; empty = all 1.0
+  std::vector<double> tenant_quota_gib;  // cycled; empty/0 = unlimited
+  std::size_t programs = 4;              // per tenant
+  std::size_t max_outstanding = 0;       // 0 = 4 x workers
 };
 
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr, "error: %s\n\n", why);
   std::fprintf(stderr,
-               "usage: grout_cli <script FILE|run|sweep|policies|dag|info> [options]\n"
+               "usage: grout_cli <script FILE|run|sweep|policies|serve|dag|info> [options]\n"
                "  --workload bs|mle|cg|mv|irr     (default mv)\n"
                "  --size-gib <float>              (run/policies; default 32)\n"
                "  --sizes a,b,c                   (sweep; GiB list)\n"
@@ -87,7 +96,15 @@ struct Options {
                "  --elastic-plan <spec>           (grout backend; ','/';'-separated:\n"
                "       join@t=<sec>:<count>          hot-join <count> workers at a sim time\n"
                "       drain@t=<sec>:<worker>        gracefully decommission a worker\n"
-               "     e.g. --elastic-plan \"join@t=2s:2,drain@t=5s:0\")\n");
+               "     e.g. --elastic-plan \"join@t=2s:2,drain@t=5s:0\")\n"
+               "  --autoscale                     (KPI-driven worker scale-out/in)\n"
+               "serve options (multi-tenant frontend):\n"
+               "  --tenants <n>                   (default 2)\n"
+               "  --arrival closed[:depth]|poisson:<rate_hz>   (default closed:1)\n"
+               "  --tenant-weights a,b,c          (WFQ weights, cycled; default 1)\n"
+               "  --tenant-quota a,b,c            (GiB resident quota, cycled; 0 = none)\n"
+               "  --programs <n>                  (programs per tenant; default 4)\n"
+               "  --max-outstanding <n>           (CEs in flight; 0 = 4 x workers)\n");
   std::exit(2);
 }
 
@@ -189,6 +206,27 @@ Options parse_args(int argc, char** argv) {
       opt.fault_plan = net::FaultPlan::parse(next());
     } else if (flag == "--elastic-plan") {
       opt.elastic_plan = cluster::ElasticPlan::parse(next());
+    } else if (flag == "--autoscale") {
+      opt.autoscale = true;
+    } else if (flag == "--tenants") {
+      opt.tenants = std::stoul(next());
+      if (opt.tenants == 0) usage("--tenants must be >= 1");
+    } else if (flag == "--arrival") {
+      opt.arrival = next();
+    } else if (flag == "--tenant-weights") {
+      opt.tenant_weights.clear();
+      for (const auto part : split(next(), ',')) {
+        opt.tenant_weights.push_back(std::stod(std::string(part)));
+      }
+    } else if (flag == "--tenant-quota") {
+      opt.tenant_quota_gib.clear();
+      for (const auto part : split(next(), ',')) {
+        opt.tenant_quota_gib.push_back(std::stod(std::string(part)));
+      }
+    } else if (flag == "--programs") {
+      opt.programs = std::stoul(next());
+    } else if (flag == "--max-outstanding") {
+      opt.max_outstanding = std::stoul(next());
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -226,11 +264,7 @@ workloads::WorkloadParams params_of(const Options& opt, double size_gib) {
   return p;
 }
 
-polyglot::Context make_context(const Options& opt, const std::string& backend) {
-  if (backend == "grcuda") {
-    return polyglot::Context::grcuda(node_of(opt), runtime::StreamPolicyKind::DataLocal,
-                                     SimTime::from_seconds(9000.0));
-  }
+core::GroutConfig grout_config_of(const Options& opt) {
   core::GroutConfig cfg;
   cfg.cluster.workers = opt.workers;
   cfg.cluster.worker_node = node_of(opt);
@@ -242,10 +276,19 @@ polyglot::Context make_context(const Options& opt, const std::string& backend) {
   cfg.run_cap = SimTime::from_seconds(9000.0);
   cfg.fault_plan = opt.fault_plan;
   cfg.elastic_plan = opt.elastic_plan;
+  cfg.autoscale = opt.autoscale;
   if (opt.worker_mem_gib) {
     cfg.worker_mem = static_cast<Bytes>(*opt.worker_mem_gib * 1073741824.0);
   }
-  return polyglot::Context::grout(std::move(cfg));
+  return cfg;
+}
+
+polyglot::Context make_context(const Options& opt, const std::string& backend) {
+  if (backend == "grcuda") {
+    return polyglot::Context::grcuda(node_of(opt), runtime::StreamPolicyKind::DataLocal,
+                                     SimTime::from_seconds(9000.0));
+  }
+  return polyglot::Context::grout(grout_config_of(opt));
 }
 
 struct RunResult {
@@ -291,6 +334,12 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
                   static_cast<unsigned long long>(m.control_drops),
                   static_cast<unsigned long long>(m.control_timeouts),
                   static_cast<unsigned long long>(m.control_retries));
+    }
+    if (opt.autoscale) {
+      std::printf("autoscale:\n");
+      std::printf("  %llu scale-outs, %llu scale-ins (KPI-driven)\n",
+                  static_cast<unsigned long long>(m.autoscale_scale_outs),
+                  static_cast<unsigned long long>(m.autoscale_scale_ins));
     }
     if (!rt.membership_log().empty()) {
       std::printf("membership:\n");
@@ -425,6 +474,77 @@ int cmd_policies(const Options& opt) {
   return 0;
 }
 
+/// Multi-tenant serving run: N tenants submit programs of the selected
+/// workload shape through the admission-controlled WFQ frontend and the
+/// per-tenant SLO ledger is printed as a table.
+int cmd_serve(const Options& opt) {
+  core::GroutRuntime rt(grout_config_of(opt));
+
+  serve::ServeConfig cfg;
+  cfg.max_outstanding_ces = opt.max_outstanding;
+  const serve::ArrivalSpec arrival = serve::parse_arrival(opt.arrival);
+  for (std::size_t k = 0; k < opt.tenants; ++k) {
+    serve::TenantSpec t;
+    t.name = "t" + std::to_string(k);
+    if (!opt.tenant_weights.empty()) {
+      t.weight = opt.tenant_weights[k % opt.tenant_weights.size()];
+    }
+    if (!opt.tenant_quota_gib.empty()) {
+      t.quota = static_cast<Bytes>(
+          opt.tenant_quota_gib[k % opt.tenant_quota_gib.size()] * 1073741824.0);
+    }
+    t.workload = opt.workload;
+    t.params = params_of(opt, opt.size_gib);
+    t.arrival = arrival;
+    t.programs = opt.programs;
+    cfg.tenants.push_back(std::move(t));
+  }
+
+  std::printf("serving %zu tenants of %s, %.2f GiB/program, arrival %s, %zu programs each\n",
+              opt.tenants, workloads::to_string(opt.workload), opt.size_gib,
+              serve::to_string(arrival).c_str(), opt.programs);
+  serve::ServeScheduler scheduler(rt, cfg);
+  const serve::ServeReport rep = scheduler.run();
+
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return std::string(buf);
+  };
+  report::Table table({"tenant", "weight", "done/sub", "shed", "CEs", "p50 [s]", "p95 [s]",
+                       "p99 [s]", "wait [s]", "thru [1/s]", "starve", "peak res"});
+  for (const serve::TenantReport& t : rep.tenants) {
+    table.add_row({t.name, num(t.weight),
+                   std::to_string(t.completed) + "/" + std::to_string(t.submitted),
+                   std::to_string(t.shed), std::to_string(t.ces_dispatched),
+                   report::cell_seconds(t.latency_p50_ms / 1e3, false),
+                   report::cell_seconds(t.latency_p95_ms / 1e3, false),
+                   report::cell_seconds(t.latency_p99_ms / 1e3, false),
+                   report::cell_seconds(t.queue_wait_mean_ms / 1e3, false),
+                   num(t.throughput_per_s), std::to_string(t.starvation_max),
+                   format_bytes(t.peak_resident)});
+  }
+  emit_table(opt, table);
+
+  const auto& m = rt.metrics();
+  std::printf("\n%s in %.3f s simulated; %zu programs completed, %zu shed\n",
+              rep.drained ? "drained" : "HORIZON EXPIRED", rep.elapsed.seconds(),
+              rep.total_completed, rep.total_shed);
+  std::printf("quota: %llu placement overflow rejections\n",
+              static_cast<unsigned long long>(m.quota_overflows));
+  if (opt.autoscale) {
+    std::printf("autoscale: %llu scale-outs, %llu scale-ins\n",
+                static_cast<unsigned long long>(m.autoscale_scale_outs),
+                static_cast<unsigned long long>(m.autoscale_scale_ins));
+  }
+  if (opt.trace_path) {
+    std::ofstream out(*opt.trace_path);
+    out << rt.cluster().tracer().to_chrome_json();
+    std::printf("trace: wrote %s\n", opt.trace_path->c_str());
+  }
+  return rep.total_completed > 0 ? 0 : 1;
+}
+
 /// Emit the workload's Global DAG (the paper's Fig. 5) as Graphviz DOT,
 /// annotated with the worker each CE was placed on.
 int cmd_dag(const Options& opt) {
@@ -503,6 +623,7 @@ int main(int argc, char** argv) {
     if (opt.command == "run") return cmd_run(opt);
     if (opt.command == "sweep") return cmd_sweep(opt);
     if (opt.command == "policies") return cmd_policies(opt);
+    if (opt.command == "serve") return cmd_serve(opt);
     if (opt.command == "dag") return cmd_dag(opt);
     if (opt.command == "script") return cmd_script(opt);
     if (opt.command == "info") return cmd_info();
