@@ -5,6 +5,37 @@
 
 namespace grout {
 
+namespace {
+
+double zeta(std::size_t n, double theta) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta) : n_{n}, theta_{theta} {
+  GROUT_REQUIRE(n > 0, "ZipfGenerator needs a non-empty key space");
+  GROUT_REQUIRE(theta >= 0.0 && theta < 1.0,
+                "ZipfGenerator theta must be in [0, 1)");
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::size_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto k = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k < n_ ? k : n_ - 1;
+}
+
 double Rng::next_gaussian() {
   // Box-Muller; regenerate if u1 rounds to zero.
   double u1 = 0.0;

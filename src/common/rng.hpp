@@ -4,6 +4,7 @@
 // simulation reproducibility requires a fixed algorithm.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -64,6 +65,29 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t state_[4]{};
+};
+
+/// YCSB-style Zipfian key sampler (Gray et al., "Quickly generating
+/// billion-record synthetic databases"). Keys are 0..n-1 with key 0 hottest;
+/// theta in [0, 1) sets the skew — 0 is uniform, 0.99 is the YCSB default
+/// hot-spot. The harmonic normalizer is precomputed once at construction, so
+/// next() is O(1) and the sequence depends only on the Rng stream.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+
+  std::size_t next(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_{0};
+  double theta_{0.0};
+  double zetan_{0.0};    // sum_{i=1..n} 1/i^theta
+  double alpha_{0.0};    // 1 / (1 - theta)
+  double eta_{0.0};
+  double zeta2_{0.0};    // zeta(2, theta)
 };
 
 }  // namespace grout

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace grout {
 
@@ -40,15 +41,37 @@ class RunningStats {
   double max_{0.0};
 };
 
-/// Collects samples for percentile queries; samples are kept verbatim.
+/// Collects samples for percentile queries.
+///
+/// Default-constructed sets keep every sample verbatim. Constructed with a
+/// capacity, the set becomes a seeded reservoir (Vitter's Algorithm R): memory
+/// stays bounded on arbitrarily long serve runs while percentile() keeps the
+/// same API and stays deterministic for a fixed seed and add() sequence.
 class SampleSet {
  public:
+  SampleSet() = default;
+
+  SampleSet(std::size_t capacity, std::uint64_t seed) : capacity_{capacity}, rng_{seed} {
+    GROUT_REQUIRE(capacity > 0, "SampleSet reservoir capacity must be positive");
+    samples_.reserve(capacity);
+  }
+
   void add(double x) {
-    samples_.push_back(x);
+    ++seen_;
+    if (capacity_ == 0 || samples_.size() < capacity_) {
+      samples_.push_back(x);
+    } else {
+      // Replace a uniformly random element with probability capacity/seen;
+      // each seen sample ends up in the reservoir with equal probability.
+      const std::uint64_t j = rng_.next_below(seen_);
+      if (j < capacity_) samples_[j] = x;
+      else return;
+    }
     sorted_ = false;
   }
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// Number of samples observed (not the reservoir occupancy).
+  [[nodiscard]] std::size_t count() const { return seen_; }
 
   /// Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) {
@@ -75,6 +98,9 @@ class SampleSet {
     }
   }
   std::vector<double> samples_;
+  std::size_t seen_{0};
+  std::size_t capacity_{0};  // 0: unbounded, keep samples verbatim
+  Rng rng_{0};
   bool sorted_{true};
 };
 

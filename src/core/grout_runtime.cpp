@@ -358,8 +358,19 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   // 4. Forward the CE to the Worker's intra-node runtime (Algorithm 2). The
   //    directory is updated eagerly so later CEs see this placement.
   for (const auto& p : spec.params) {
-    if (uvm::writes(p.mode)) {
-      directory_.written_on_worker(static_cast<GlobalArrayId>(p.array), w);
+    if (!uvm::writes(p.mode)) continue;
+    const auto id = static_cast<GlobalArrayId>(p.array);
+    const WriteEffect effect = directory_.written_on_worker(id, w);
+    if (effect.invalidations > 0 && cluster_->tracer().enabled()) {
+      // Invalidation storm visibility: one span per shared write that
+      // dropped replicas, tenant-tagged like the dispatch span above.
+      const SimTime at = cluster_->simulator().now();
+      cluster_->tracer().record(
+          sim::TraceCategory::Scheduling,
+          "invalidate:" + directory_.name_of(id) + "(x" +
+              std::to_string(effect.invalidations) +
+              (effect.ownership_transfer ? ",xfer)" : ")"),
+          "controller", at, at, spec.tenant);
     }
   }
   runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
@@ -667,6 +678,12 @@ SchedulerMetrics& GroutRuntime::metrics() {
   // Per-tenant accounting (empty outside serve runs).
   metrics_.tenant_resident = governor_->resident_by_tenant();
   metrics_.tenant_quota = governor_->quota_by_tenant();
+  // Directory-traffic totals (shared-state contention visibility).
+  metrics_.invalidations = directory_.invalidations();
+  metrics_.ownership_transfers = directory_.ownership_transfers();
+  metrics_.coherence_refetches = directory_.coherence_refetches();
+  metrics_.invalidated_bytes = directory_.invalidated_bytes();
+  metrics_.refetched_bytes = directory_.refetched_bytes();
   return metrics_;
 }
 

@@ -273,6 +273,12 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
   }
   if (directory_.holders(id).worker(w)) {
     directory_.remove_worker_copy(id, w);
+  } else if (directory_.invalidated_on_worker(id, w)) {
+    // The replica was already dead coherence-wise (a shared write
+    // invalidated it); reclaiming it costs nothing but bookkeeping, which
+    // is exactly the hot-replica thrash contention serving should surface.
+    ++metrics_.stale_evictions;
+    metrics_.bytes_stale_evicted += rep.bytes;
   }
   cluster_.worker(w).release_array(id, free_after);
 

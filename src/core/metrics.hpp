@@ -60,6 +60,19 @@ struct SchedulerMetrics {
   /// attract its first CE.
   std::uint64_t exploration_placements{0};
 
+  // Shared-state coherence traffic (synced from the directory). Writes to a
+  // read-shared array invalidate every other worker's replica; these stay
+  // near zero for disjoint tenants and climb under contention serving.
+  std::uint64_t invalidations{0};        ///< worker replicas dropped by writes
+  std::uint64_t ownership_transfers{0};  ///< writes that moved exclusive ownership
+  std::uint64_t coherence_refetches{0};  ///< re-fetches forced by invalidation
+  Bytes invalidated_bytes{0};
+  Bytes refetched_bytes{0};
+  /// Evictions of replicas a write had already invalidated (the governor
+  /// reclaiming stale copies rather than live ones).
+  std::uint64_t stale_evictions{0};
+  Bytes bytes_stale_evicted{0};
+
   // Multi-tenant serving (synced from the governor's per-tenant accounting;
   // empty outside serve runs).
   /// Cluster-wide resident replica bytes per tenant, indexed by TenantId.

@@ -16,13 +16,30 @@ ArrivalSpec parse_arrival(const std::string& text) {
   const std::string arg = colon == std::string::npos ? "" : text.substr(colon + 1);
   if (kind == "closed") {
     spec.kind = ArrivalSpec::Kind::Closed;
-    if (!arg.empty()) spec.depth = static_cast<std::size_t>(std::stoul(arg));
+    if (!arg.empty()) {
+      // stoul accepts (and wraps) a leading minus sign; reject anything but
+      // plain digits before converting.
+      const bool digits = arg.find_first_not_of("0123456789") == std::string::npos;
+      GROUT_REQUIRE(digits, "closed-loop depth is not a number: '" + arg + "'");
+      try {
+        spec.depth = static_cast<std::size_t>(std::stoul(arg));
+      } catch (const std::exception&) {
+        GROUT_REQUIRE(false, "closed-loop depth is not a number: '" + arg + "'");
+      }
+    }
     GROUT_REQUIRE(spec.depth >= 1, "closed-loop depth must be >= 1");
   } else if (kind == "poisson") {
     spec.kind = ArrivalSpec::Kind::Poisson;
     GROUT_REQUIRE(!arg.empty(), "poisson arrival needs a rate: poisson:<rate_hz>");
-    spec.rate_hz = std::stod(arg);
-    GROUT_REQUIRE(spec.rate_hz > 0.0, "poisson rate must be positive");
+    try {
+      spec.rate_hz = std::stod(arg);
+    } catch (const std::exception&) {
+      GROUT_REQUIRE(false, "poisson rate is not a number: '" + arg + "'");
+    }
+    // A zero/negative/non-finite rate would make the exponential
+    // inter-arrival gap infinite or negative and hang the serve loop.
+    GROUT_REQUIRE(std::isfinite(spec.rate_hz) && spec.rate_hz > 0.0,
+                  "poisson rate must be positive and finite");
   } else {
     GROUT_CHECK(false, "unknown arrival spec (want closed[:depth] or poisson:<rate>)");
   }
@@ -43,12 +60,41 @@ ServeScheduler::ServeScheduler(core::GroutRuntime& runtime, ServeConfig config)
   for (std::size_t k = 0; k < config_.tenants.size(); ++k) {
     Tenant& t = tenants_.emplace_back();
     t.spec = config_.tenants[k];
-    GROUT_REQUIRE(t.spec.weight > 0.0, "tenant weight must be positive");
+    // A weight of 0 (or below, or inf/NaN) would corrupt every tenant's
+    // vtime through the 1/weight increment — reject loudly up front.
+    GROUT_REQUIRE(std::isfinite(t.spec.weight) && t.spec.weight > 0.0,
+                  "tenant '" + t.spec.name + "' weight must be positive and finite");
     GROUT_REQUIRE(t.spec.programs >= 1, "tenant must submit at least one program");
+    if (t.spec.arrival.kind == ArrivalSpec::Kind::Poisson) {
+      // Configs built programmatically can bypass parse_arrival; validate
+      // here too so schedule_next_arrival can never compute an infinite or
+      // negative gap.
+      GROUT_REQUIRE(std::isfinite(t.spec.arrival.rate_hz) && t.spec.arrival.rate_hz > 0.0,
+                    "poisson rate must be positive and finite");
+    } else {
+      GROUT_REQUIRE(t.spec.arrival.depth >= 1, "closed-loop depth must be >= 1");
+    }
     if (t.spec.name.empty()) t.spec.name = "tenant" + std::to_string(k);
     // Distinct deterministic arrival streams per tenant.
     t.arrivals.reseed(config_.seed ^ ((k + 1) * 0x9e3779b97f4a7c15ULL));
+    if (config_.latency_sample_cap != 0) {
+      t.latency_ms = SampleSet(config_.latency_sample_cap,
+                               config_.seed ^ ((k + 1) * 0xd1342543de82ef95ULL));
+    }
     runtime_.set_tenant_quota(static_cast<TenantId>(k), t.spec.quota);
+  }
+  if (config_.contention) {
+    const workloads::ContentionSpec& c = *config_.contention;
+    // The shared pool belongs to the frontend, not to any tenant: arrays
+    // are allocated unowned (kNoTenant) so every tenant's CEs may touch
+    // them, and host-initialized so the first reader has a source copy.
+    shared_pool_.reserve(c.pool_arrays);
+    for (std::size_t i = 0; i < c.pool_arrays; ++i) {
+      const core::GlobalArrayId id =
+          runtime_.alloc(c.array_bytes, "shared/k" + std::to_string(i), kNoTenant);
+      runtime_.host_init(id);
+      shared_pool_.push_back(id);
+    }
   }
 }
 
@@ -80,7 +126,16 @@ void ServeScheduler::submit(std::size_t t) {
   auto p = std::make_unique<Program>();
   p->tenant = t;
   p->seq = tenant.submitted++;
-  p->shape = workloads::make_program_shape(tenant.spec.workload, tenant.spec.params);
+  if (config_.contention) {
+    // Key sequences are pinned per (seed, tenant, seq): resubmitting the
+    // same serving config replays bit-identical contention traffic.
+    const std::uint64_t shape_seed = (config_.seed * 0x9e3779b97f4a7c15ULL) ^
+                                     ((t + 1) * 0xbf58476d1ce4e5b9ULL) ^
+                                     ((p->seq + 1) * 0x94d049bb133111ebULL);
+    p->shape = workloads::make_contention_shape(*config_.contention, shape_seed);
+  } else {
+    p->shape = workloads::make_program_shape(tenant.spec.workload, tenant.spec.params);
+  }
   p->arrived = simulator().now();
   if (tenant.spec.arrival.kind == ArrivalSpec::Kind::Poisson) schedule_next_arrival(t);
 
@@ -201,8 +256,17 @@ void ServeScheduler::launch_next_ce(Tenant& tenant) {
   spec.tenant = static_cast<TenantId>(p->tenant);
   spec.params.reserve(ce.params.size());
   for (const workloads::ShapeParam& sp : ce.params) {
-    spec.params.push_back(
-        uvm::ParamAccess{p->arrays[sp.array], sp.range, sp.mode, sp.pattern});
+    core::GlobalArrayId id;
+    if (sp.shared) {
+      // Shared params index the frontend's contention pool; a shape with
+      // shared params outside a contention run is a construction bug.
+      GROUT_CHECK(sp.array < shared_pool_.size(),
+                  "shared param indexes past the contention pool");
+      id = shared_pool_[sp.array];
+    } else {
+      id = p->arrays[sp.array];
+    }
+    spec.params.push_back(uvm::ParamAccess{id, sp.range, sp.mode, sp.pattern});
   }
   ++outstanding_ces_;
   ++tenant.ces;

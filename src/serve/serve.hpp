@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,15 @@ struct ServeConfig {
   /// Wall-clock (sim) horizon for the whole serving run.
   SimTime horizon = SimTime::from_seconds(9000.0);
   std::uint64_t seed{42};
+  /// Shared-state contention scenario: when set, every tenant's programs
+  /// are YCSB-style contention shapes over one pool of shared global
+  /// arrays (allocated unowned, host-initialized) instead of the tenant's
+  /// configured workload. Program key sequences are pinned by
+  /// (seed, tenant, seq), so a run is bit-identical for a fixed config.
+  std::optional<workloads::ContentionSpec> contention;
+  /// Reservoir capacity for per-tenant latency percentiles (0 = keep every
+  /// sample). Bounded by default so long open-loop runs stay O(1) memory.
+  std::size_t latency_sample_cap{4096};
 };
 
 /// Per-tenant serving outcome — the SLO ledger.
@@ -183,6 +193,10 @@ class ServeScheduler {
   core::GroutRuntime& runtime_;
   ServeConfig config_;
   std::vector<Tenant> tenants_;
+  /// Shared contention pool (empty unless config_.contention is set):
+  /// runtime ids of the pool arrays, indexed by key. Owned by no tenant, so
+  /// every tenant's CEs may legally touch them.
+  std::vector<core::GlobalArrayId> shared_pool_;
   /// Owning store of admitted programs (stable addresses for callbacks).
   std::vector<std::unique_ptr<Program>> admitted_;
   std::size_t outstanding_ces_{0};

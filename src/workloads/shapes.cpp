@@ -1,8 +1,13 @@
 #include "workloads/shapes.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
 
 namespace grout::workloads {
 
@@ -232,6 +237,161 @@ Bytes ProgramShape::footprint() const {
   Bytes total = 0;
   for (const ShapeArray& a : arrays) total += a.bytes;
   return total;
+}
+
+namespace {
+
+double parse_spec_double(std::string_view key, std::string_view text) {
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  GROUT_REQUIRE(ec == std::errc{} && end == text.data() + text.size(),
+                "contention spec: malformed number for '" + std::string(key) + "'");
+  GROUT_REQUIRE(std::isfinite(value),
+                "contention spec: '" + std::string(key) + "' must be finite");
+  return value;
+}
+
+std::size_t parse_spec_count(std::string_view key, std::string_view text) {
+  std::size_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  GROUT_REQUIRE(ec == std::errc{} && end == text.data() + text.size() && value > 0,
+                "contention spec: '" + std::string(key) + "' must be a positive integer");
+  return value;
+}
+
+}  // namespace
+
+ContentionSpec parse_contention(std::string_view text) {
+  ContentionSpec spec;
+  GROUT_REQUIRE(!trim(text).empty(), "contention spec: empty");
+  bool saw_theta = false, saw_rw = false, saw_shared = false;
+  for (const std::string_view field : split(text, ',')) {
+    const std::vector<std::string_view> kv = split(field, '=');
+    GROUT_REQUIRE(kv.size() == 2,
+                  "contention spec: expected key=value, got '" + std::string(field) + "'");
+    const std::string_view key = trim(kv[0]);
+    const std::string_view val = trim(kv[1]);
+    if (key == "theta") {
+      spec.theta = parse_spec_double(key, val);
+      GROUT_REQUIRE(spec.theta >= 0.0 && spec.theta < 1.0,
+                    "contention spec: theta must be in [0, 1)");
+      saw_theta = true;
+    } else if (key == "rw") {
+      spec.read_fraction = parse_spec_double(key, val);
+      GROUT_REQUIRE(spec.read_fraction >= 0.0 && spec.read_fraction <= 1.0,
+                    "contention spec: rw (read fraction) must be in [0, 1]");
+      saw_rw = true;
+    } else if (key == "shared") {
+      spec.shared_fraction = parse_spec_double(key, val);
+      GROUT_REQUIRE(spec.shared_fraction >= 0.0 && spec.shared_fraction <= 1.0,
+                    "contention spec: shared fraction must be in [0, 1]");
+      saw_shared = true;
+    } else if (key == "pool") {
+      spec.pool_arrays = parse_spec_count(key, val);
+    } else if (key == "bytes") {
+      spec.array_bytes = parse_spec_count(key, val);
+    } else if (key == "ops") {
+      spec.ops = parse_spec_count(key, val);
+    } else if (key == "keys") {
+      spec.keys_per_op = parse_spec_count(key, val);
+    } else {
+      GROUT_REQUIRE(false, "contention spec: unknown key '" + std::string(key) + "'");
+    }
+  }
+  GROUT_REQUIRE(saw_theta && saw_rw && saw_shared,
+                "contention spec: theta, rw and shared are required");
+  GROUT_REQUIRE(spec.keys_per_op <= spec.pool_arrays,
+                "contention spec: keys must not exceed pool");
+  return spec;
+}
+
+std::string to_string(const ContentionSpec& spec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "theta=%.3f,rw=%.3f,shared=%.3f,pool=%zu,bytes=%llu,ops=%zu,keys=%zu",
+                spec.theta, spec.read_fraction, spec.shared_fraction, spec.pool_arrays,
+                static_cast<unsigned long long>(spec.array_bytes), spec.ops,
+                spec.keys_per_op);
+  return buf;
+}
+
+ProgramShape make_contention_shape(const ContentionSpec& spec, std::uint64_t seed) {
+  GROUT_REQUIRE(spec.pool_arrays >= 1, "contention pool must be non-empty");
+  GROUT_REQUIRE(spec.ops >= 1, "contention program needs at least one op");
+  GROUT_REQUIRE(spec.keys_per_op >= 1 && spec.keys_per_op <= spec.pool_arrays,
+                "contention keys_per_op out of range");
+  Rng rng{seed};
+  const ZipfGenerator zipf{spec.pool_arrays, spec.theta};
+
+  ProgramShape shape;
+  // Private side: a couple of host-initialized locals standing in for the
+  // tenant's own (uncontended) state, plus a scratch array each op writes.
+  const std::size_t kLocals = 2;
+  std::vector<std::size_t> locals(kLocals);
+  for (std::size_t j = 0; j < kLocals; ++j) {
+    locals[j] = shape.arrays.size();
+    shape.arrays.push_back({part_name("local", j), spec.array_bytes, /*host_init=*/true});
+  }
+  const std::size_t scratch = shape.arrays.size();
+  shape.arrays.push_back({"scratch", spec.array_bytes, /*host_init=*/false});
+
+  const std::size_t elems = std::max<std::size_t>(spec.array_bytes / 4, 1);
+  for (std::size_t op = 0; op < spec.ops; ++op) {
+    const bool update = rng.next_double() >= spec.read_fraction;
+    ShapeCe ce;
+    ce.name = update ? "ycsb-update" : "ycsb-read";
+    ce.flops = 16.0 * static_cast<double>(elems);
+    ce.parallelism = uvm::Parallelism::High;
+    // Sample keys_per_op keys; a launch must not name the same array twice,
+    // so duplicate draws are resampled (bounded) rather than dropped —
+    // otherwise high skew would silently thin out CEs and mask contention.
+    std::vector<std::size_t> picked_shared;
+    std::vector<std::size_t> picked_local;
+    for (std::size_t k = 0; k < spec.keys_per_op; ++k) {
+      const bool shared = rng.next_double() < spec.shared_fraction;
+      if (shared) {
+        std::size_t key = zipf.next(rng);
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          if (std::find(picked_shared.begin(), picked_shared.end(), key) ==
+              picked_shared.end()) {
+            break;
+          }
+          key = zipf.next(rng);
+        }
+        if (std::find(picked_shared.begin(), picked_shared.end(), key) !=
+            picked_shared.end()) {
+          continue;
+        }
+        picked_shared.push_back(key);
+        // The first shared key of an update op is read-modified-written in
+        // place — the ownership ping-pong the directory has to absorb.
+        const bool write_key = update && picked_shared.size() == 1;
+        ShapeParam param{key,
+                         write_key ? uvm::AccessMode::ReadWrite : uvm::AccessMode::Read,
+                         uvm::HotReusePattern{},
+                         {}};
+        param.shared = true;
+        ce.params.push_back(param);
+      } else {
+        const std::size_t local = locals[rng.next_below(kLocals)];
+        if (std::find(picked_local.begin(), picked_local.end(), local) !=
+            picked_local.end()) {
+          continue;
+        }
+        picked_local.push_back(local);
+        ce.params.push_back({local, uvm::AccessMode::Read, uvm::StreamingPattern{}, {}});
+      }
+    }
+    if (ce.params.empty()) {
+      // All samples collided; fall back to a deterministic hot-key read.
+      ShapeParam param{zipf.next(rng), uvm::AccessMode::Read, uvm::HotReusePattern{}, {}};
+      param.shared = true;
+      ce.params.push_back(param);
+    }
+    ce.params.push_back({scratch, uvm::AccessMode::Write, uvm::StreamingPattern{}, {}});
+    shape.ces.push_back(std::move(ce));
+  }
+  return shape;
 }
 
 ProgramShape make_program_shape(WorkloadKind kind, const WorkloadParams& params) {

@@ -12,7 +12,9 @@
 // stresses the scheduler the way the Figure 5 suite does.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.hpp"
@@ -22,12 +24,15 @@
 namespace grout::workloads {
 
 /// One CE parameter: an index into ProgramShape::arrays plus the access
-/// descriptor a KernelLaunchSpec wants.
+/// descriptor a KernelLaunchSpec wants. When `shared` is set the index
+/// refers to the serving frontend's shared global-array pool instead of the
+/// program's own arrays (contention shapes only).
 struct ShapeParam {
   std::size_t array{0};
   uvm::AccessMode mode{uvm::AccessMode::Read};
   uvm::AccessPattern pattern{uvm::StreamingPattern{}};
   uvm::ByteRange range{};  ///< empty = the whole array
+  bool shared{false};
 };
 
 struct ShapeCe {
@@ -58,5 +63,30 @@ struct ProgramShape {
 
 /// Build the shape of one `kind` program under `params`.
 ProgramShape make_program_shape(WorkloadKind kind, const WorkloadParams& params);
+
+/// YCSB-style contention scenario: programs issue short read/update CEs
+/// against a pool of shared global arrays under a Zipfian key distribution.
+/// The pool itself is owned by the serving frontend (allocated once, shared
+/// across tenants); a contention ProgramShape holds only the program's
+/// private arrays and references pool keys via ShapeParam::shared.
+struct ContentionSpec {
+  double theta{0.9};           ///< Zipf skew in [0, 1); 0 = uniform keys
+  double read_fraction{0.95};  ///< fraction of ops that only read their keys
+  double shared_fraction{0.8}; ///< probability a key targets the shared pool
+  std::size_t pool_arrays{64}; ///< shared pool size in arrays ("keys")
+  Bytes array_bytes{1_MiB};    ///< bytes per pool / private array
+  std::size_t ops{8};          ///< CEs per program
+  std::size_t keys_per_op{2};  ///< distinct keys each CE touches
+};
+
+/// Parse "theta=0.9,rw=0.95,shared=0.8[,pool=64,bytes=1048576,ops=8,keys=2]".
+/// Rejects malformed fields and out-of-range values with a grout::Error.
+ContentionSpec parse_contention(std::string_view text);
+
+std::string to_string(const ContentionSpec& spec);
+
+/// Build one contention program shape. `seed` pins the key sequence, so the
+/// same (spec, seed) always yields a bit-identical shape.
+ProgramShape make_contention_shape(const ContentionSpec& spec, std::uint64_t seed);
 
 }  // namespace grout::workloads

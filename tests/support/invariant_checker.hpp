@@ -24,6 +24,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/grout_runtime.hpp"
 
 namespace grout::test {
@@ -31,6 +33,11 @@ namespace grout::test {
 class InvariantChecker {
  public:
   explicit InvariantChecker(core::GroutRuntime& rt) : rt_{rt} {}
+
+  /// Declare an array part of the shared (cross-tenant) pool. Shared arrays
+  /// must stay unowned forever: ownership appearing later would turn every
+  /// prior cross-tenant access into a retroactive isolation violation.
+  void note_shared(core::GlobalArrayId id) { shared_.push_back(id); }
 
   /// Invariants that hold at every observable point.
   void check_always() {
@@ -62,6 +69,26 @@ class InvariantChecker {
       held += gov.resident_bytes(w);
     }
     EXPECT_LE(owned, held) << "tenant resident accounting exceeds worker residency";
+    // Shared-array tenancy: pool arrays stay unowned, so any tenant's CE may
+    // touch them (after_launch enforces the converse for owned arrays).
+    for (const core::GlobalArrayId id : shared_) {
+      EXPECT_EQ(gov.array_owner(id), kNoTenant)
+          << "shared array " << dir.name_of(id) << " acquired an owner";
+    }
+    // Coherence bookkeeping: an invalidated replica is by definition not an
+    // up-to-date holder, and the directory-traffic counters only ever grow.
+    for (core::GlobalArrayId id = 0; id < dir.array_count(); ++id) {
+      for (std::size_t w = 0; w < rt_.cluster().worker_count(); ++w) {
+        EXPECT_FALSE(dir.holders(id).worker(w) && dir.invalidated_on_worker(id, w))
+            << "worker " << w << " both holds and has invalidated " << dir.name_of(id);
+      }
+    }
+    EXPECT_GE(dir.invalidations(), last_invalidations_) << "invalidation counter went backwards";
+    EXPECT_GE(dir.ownership_transfers(), last_transfers_) << "transfer counter went backwards";
+    EXPECT_GE(dir.coherence_refetches(), last_refetches_) << "refetch counter went backwards";
+    last_invalidations_ = dir.invalidations();
+    last_transfers_ = dir.ownership_transfers();
+    last_refetches_ = dir.coherence_refetches();
   }
 
   /// A CE was just launched: every parameter must be up-to-date on the
@@ -114,6 +141,10 @@ class InvariantChecker {
 
  private:
   core::GroutRuntime& rt_;
+  std::vector<core::GlobalArrayId> shared_;
+  std::uint64_t last_invalidations_{0};
+  std::uint64_t last_transfers_{0};
+  std::uint64_t last_refetches_{0};
 };
 
 }  // namespace grout::test

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -243,6 +244,95 @@ TEST(SampleSetTest, SingleSample) {
   s.add(7.0);
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
   EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+TEST(SampleSetTest, ReservoirStaysBounded) {
+  SampleSet s(128, 42);
+  for (int i = 0; i < 100000; ++i) s.add(static_cast<double>(i % 1000));
+  EXPECT_EQ(s.count(), 100000u);
+  EXPECT_EQ(s.samples().size(), 128u);
+}
+
+TEST(SampleSetTest, ReservoirPercentilesTrackExact) {
+  // Long skewed stream: the seeded reservoir's p50/p95/p99 must stay close
+  // to the verbatim set's. Tolerance is generous (reservoir of 4096 over
+  // 200k samples) but tight enough to catch a broken replacement rule.
+  SampleSet exact;
+  SampleSet reservoir(4096, 7);
+  Rng rng(1234);
+  for (int i = 0; i < 200000; ++i) {
+    // Log-normal-ish latencies: mostly ~1, occasionally large.
+    const double x = std::exp(rng.next_gaussian());
+    exact.add(x);
+    reservoir.add(x);
+  }
+  EXPECT_EQ(reservoir.count(), exact.count());
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double e = exact.percentile(p);
+    const double r = reservoir.percentile(p);
+    EXPECT_NEAR(r, e, 0.15 * e) << "p" << p << " drifted: exact " << e << " reservoir " << r;
+  }
+}
+
+TEST(SampleSetTest, ReservoirIsDeterministicForSeed) {
+  SampleSet a(64, 9), b(64, 9);
+  Rng ra(5), rb(5);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(ra.next_double());
+    b.add(rb.next_double());
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(SampleSetTest, ReservoirRejectsZeroCapacity) {
+  EXPECT_THROW(SampleSet(0, 1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ZipfGenerator
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTest, KeysInRangeAndDeterministic) {
+  const ZipfGenerator zipf(17, 0.9);
+  Rng a(3), b(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t ka = zipf.next(a);
+    EXPECT_LT(ka, 17u);
+    EXPECT_EQ(ka, zipf.next(b));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  const ZipfGenerator zipf(8, 0.0);
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.next(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 0.1 * n / 8.0);
+  }
+}
+
+TEST(ZipfTest, HigherThetaConcentratesOnHotKeys) {
+  Rng rng(21);
+  double prev_hot = 0.0;
+  for (const double theta : {0.0, 0.5, 0.9}) {
+    const ZipfGenerator zipf(64, theta);
+    int hot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      if (zipf.next(rng) == 0) ++hot;
+    }
+    const double frac = static_cast<double>(hot) / n;
+    EXPECT_GT(frac, prev_hot) << "key-0 mass must rise with theta " << theta;
+    prev_hot = frac;
+  }
+}
+
+TEST(ZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 0.5), InvalidArgument);
+  EXPECT_THROW(ZipfGenerator(8, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfGenerator(8, -0.1), InvalidArgument);
 }
 
 TEST(StatsTest, ArithmeticMean) {

@@ -109,7 +109,12 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
         rt.alloc((1 + rng.next_below(4)) * 1_MiB, "a" + std::to_string(i), owner));
     owners.push_back(owner);
     rt.host_init(arrays.back());
+    if (multi_tenant && owner == kNoTenant) chk.note_shared(arrays.back());
   }
+  // Multi-tenant seeds pick their arrays Zipf-skewed (the serving frontend's
+  // contention traffic): both tenants hammer the same hot arrays, so shared
+  // writes keep invalidating the other tenant's replicas.
+  const ZipfGenerator zipf{arrays.size(), 0.9};
 
   const auto live_schedulable = [&] {
     std::size_t n = 0;
@@ -143,7 +148,8 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
           rng.next_below(2) == 0 ? uvm::AccessMode::Read : uvm::AccessMode::Write;
       std::vector<GlobalArrayId> picked;
       for (std::size_t p = 0; p < n_params; ++p) {
-        const std::size_t idx = rng.next_below(arrays.size());
+        const std::size_t idx =
+            multi_tenant ? zipf.next(rng) : rng.next_below(arrays.size());
         if (multi_tenant && owners[idx] != kNoTenant && owners[idx] != ce_tenant) continue;
         const GlobalArrayId a = arrays[idx];
         if (std::find(picked.begin(), picked.end(), a) != picked.end()) continue;
@@ -343,6 +349,13 @@ TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
   EXPECT_EQ(a.metrics.worker_drains, b.metrics.worker_drains);
   EXPECT_EQ(a.metrics.drain_migrated_bytes, b.metrics.drain_migrated_bytes);
   EXPECT_EQ(a.metrics.exploration_placements, b.metrics.exploration_placements);
+  EXPECT_EQ(a.metrics.invalidations, b.metrics.invalidations);
+  EXPECT_EQ(a.metrics.ownership_transfers, b.metrics.ownership_transfers);
+  EXPECT_EQ(a.metrics.coherence_refetches, b.metrics.coherence_refetches);
+  EXPECT_EQ(a.metrics.invalidated_bytes, b.metrics.invalidated_bytes);
+  EXPECT_EQ(a.metrics.refetched_bytes, b.metrics.refetched_bytes);
+  EXPECT_EQ(a.metrics.stale_evictions, b.metrics.stale_evictions);
+  EXPECT_EQ(a.metrics.bytes_stale_evicted, b.metrics.bytes_stale_evicted);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // evicting a neighbor's replicas.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,54 @@ TEST(ServeArrivalTest, RejectsMalformedSpecs) {
   EXPECT_THROW(serve::parse_arrival("closed:0"), std::exception);
   EXPECT_THROW(serve::parse_arrival("poisson"), std::exception);
   EXPECT_THROW(serve::parse_arrival("poisson:-1"), std::exception);
+}
+
+TEST(ServeArrivalTest, RejectsNonNumericAndDegenerateRates) {
+  // Regression: these used to reach the scheduler, where rate 0 makes the
+  // Poisson interarrival gap infinite — the run would hang at the horizon
+  // instead of failing at parse time.
+  EXPECT_THROW(serve::parse_arrival("poisson:0"), Error);
+  EXPECT_THROW(serve::parse_arrival("poisson:abc"), Error);
+  EXPECT_THROW(serve::parse_arrival("poisson:inf"), Error);
+  EXPECT_THROW(serve::parse_arrival("poisson:nan"), Error);
+  EXPECT_THROW(serve::parse_arrival("closed:x"), Error);
+  EXPECT_THROW(serve::parse_arrival("closed:-2"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation at scheduler construction
+// ---------------------------------------------------------------------------
+
+TEST(ServeConfigTest, RejectsNonPositiveWeights) {
+  // Regression: weight 0 used to divide the WFQ vtime increment (1/weight)
+  // into infinity, silently starving every other tenant.
+  for (const double bad : {0.0, -1.0, std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    core::GroutRuntime rt(small_cluster());
+    ServeConfig cfg;
+    cfg.tenants.push_back(bs_tenant("a", bad, 1, "closed:1"));
+    EXPECT_THROW(ServeScheduler(rt, cfg), Error) << "weight " << bad << " accepted";
+  }
+}
+
+TEST(ServeConfigTest, RejectsDegenerateProgrammaticArrivals) {
+  // Programmatic ArrivalSpecs bypass parse_arrival, so the scheduler must
+  // re-validate: rate must be finite and positive, depth at least 1.
+  for (const double bad_rate : {0.0, -3.0, std::numeric_limits<double>::infinity()}) {
+    core::GroutRuntime rt(small_cluster());
+    ServeConfig cfg;
+    TenantSpec t = bs_tenant("a", 1.0, 1, "closed:1");
+    t.arrival.kind = ArrivalSpec::Kind::Poisson;
+    t.arrival.rate_hz = bad_rate;
+    cfg.tenants.push_back(std::move(t));
+    EXPECT_THROW(ServeScheduler(rt, cfg), Error) << "rate " << bad_rate << " accepted";
+  }
+  core::GroutRuntime rt(small_cluster());
+  ServeConfig cfg;
+  TenantSpec t = bs_tenant("a", 1.0, 1, "closed:1");
+  t.arrival.depth = 0;
+  cfg.tenants.push_back(std::move(t));
+  EXPECT_THROW(ServeScheduler(rt, cfg), Error);
 }
 
 // ---------------------------------------------------------------------------

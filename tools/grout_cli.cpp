@@ -9,6 +9,7 @@
 // scheduler metrics; `sweep` produces Fig-6-style slowdown tables; and
 // `policies` compares every inter-node policy at one size. Optional
 // --trace writes a chrome://tracing JSON of the distributed execution.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -62,6 +63,7 @@ struct Options {
   std::vector<double> tenant_quota_gib;  // cycled; empty/0 = unlimited
   std::size_t programs = 4;              // per tenant
   std::size_t max_outstanding = 0;       // 0 = 4 x workers
+  std::optional<std::string> contention; // shared-state contention scenario
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -104,7 +106,12 @@ struct Options {
                "  --tenant-weights a,b,c          (WFQ weights, cycled; default 1)\n"
                "  --tenant-quota a,b,c            (GiB resident quota, cycled; 0 = none)\n"
                "  --programs <n>                  (programs per tenant; default 4)\n"
-               "  --max-outstanding <n>           (CEs in flight; 0 = 4 x workers)\n");
+               "  --max-outstanding <n>           (CEs in flight; 0 = 4 x workers)\n"
+               "  --contention theta=<t>,rw=<r>,shared=<s>\n"
+               "                                  (YCSB-style Zipf traffic over a pool of\n"
+               "                                   shared arrays instead of per-tenant\n"
+               "                                   workloads; optional pool=<n>,bytes=<b>,\n"
+               "                                   ops=<n>,keys=<n>)\n");
   std::exit(2);
 }
 
@@ -216,7 +223,20 @@ Options parse_args(int argc, char** argv) {
     } else if (flag == "--tenant-weights") {
       opt.tenant_weights.clear();
       for (const auto part : split(next(), ',')) {
-        opt.tenant_weights.push_back(std::stod(std::string(part)));
+        double w = 0.0;
+        try {
+          w = std::stod(std::string(part));
+        } catch (const std::exception&) {
+          usage(("--tenant-weights: not a number: '" + std::string(part) + "'").c_str());
+        }
+        // Weight 0 would divide the WFQ vtime increment by zero; negative
+        // or non-finite weights corrupt the ordering — fail at parse time.
+        if (!std::isfinite(w) || w <= 0.0) {
+          usage(("--tenant-weights: weight must be positive and finite, got '" +
+                 std::string(part) + "'")
+                    .c_str());
+        }
+        opt.tenant_weights.push_back(w);
       }
     } else if (flag == "--tenant-quota") {
       opt.tenant_quota_gib.clear();
@@ -227,6 +247,8 @@ Options parse_args(int argc, char** argv) {
       opt.programs = std::stoul(next());
     } else if (flag == "--max-outstanding") {
       opt.max_outstanding = std::stoul(next());
+    } else if (flag == "--contention") {
+      opt.contention = next();
     } else {
       usage(("unknown flag: " + flag).c_str());
     }
@@ -499,10 +521,18 @@ int cmd_serve(const Options& opt) {
     t.programs = opt.programs;
     cfg.tenants.push_back(std::move(t));
   }
+  if (opt.contention) cfg.contention = workloads::parse_contention(*opt.contention);
 
-  std::printf("serving %zu tenants of %s, %.2f GiB/program, arrival %s, %zu programs each\n",
-              opt.tenants, workloads::to_string(opt.workload), opt.size_gib,
-              serve::to_string(arrival).c_str(), opt.programs);
+  if (cfg.contention) {
+    std::printf("serving %zu tenants of shared-state contention (%s), arrival %s, "
+                "%zu programs each\n",
+                opt.tenants, workloads::to_string(*cfg.contention).c_str(),
+                serve::to_string(arrival).c_str(), opt.programs);
+  } else {
+    std::printf("serving %zu tenants of %s, %.2f GiB/program, arrival %s, %zu programs each\n",
+                opt.tenants, workloads::to_string(opt.workload), opt.size_gib,
+                serve::to_string(arrival).c_str(), opt.programs);
+  }
   serve::ServeScheduler scheduler(rt, cfg);
   const serve::ServeReport rep = scheduler.run();
 
@@ -532,6 +562,15 @@ int cmd_serve(const Options& opt) {
               rep.total_completed, rep.total_shed);
   std::printf("quota: %llu placement overflow rejections\n",
               static_cast<unsigned long long>(m.quota_overflows));
+  if (opt.contention) {
+    std::printf("directory: %llu invalidations, %llu ownership transfers, "
+                "%llu coherence refetches (%s), %llu stale evictions\n",
+                static_cast<unsigned long long>(m.invalidations),
+                static_cast<unsigned long long>(m.ownership_transfers),
+                static_cast<unsigned long long>(m.coherence_refetches),
+                format_bytes(m.refetched_bytes).c_str(),
+                static_cast<unsigned long long>(m.stale_evictions));
+  }
   if (opt.autoscale) {
     std::printf("autoscale: %llu scale-outs, %llu scale-ins\n",
                 static_cast<unsigned long long>(m.autoscale_scale_outs),
