@@ -45,7 +45,8 @@ GroutRuntime::GroutRuntime(GroutConfig config)
       config_.cluster.worker_node.gpu_count * config_.cluster.worker_node.device.memory;
   const Bytes budget = config_.worker_mem.value_or(static_cast<Bytes>(
       config_.worker_mem_headroom * static_cast<double>(node_gpu_mem)));
-  governor_ = std::make_unique<MemoryGovernor>(*cluster_, directory_, metrics_, budget);
+  governor_ = std::make_unique<MemoryGovernor>(*cluster_, directory_, metrics_, budget,
+                                               config_.spill);
   // Drain finalization is event-driven: when the last pinned replica on a
   // drain-watched worker is released, the governor fires this from a fresh
   // sim event (no fixed-interval retry poll).
@@ -219,6 +220,8 @@ void GroutRuntime::host_init(GlobalArrayId array) {
   global_dag_.add("host-init:" + directory_.name_of(array),
                   {dag::AccessSummary{array, true}});
   directory_.written_on_controller(array);
+  // The host write supersedes any spilled copy: its tier bytes are free.
+  governor_->release_spilled(array);
 }
 
 void GroutRuntime::advise(GlobalArrayId array, uvm::Advise advise) {
@@ -361,6 +364,9 @@ void GroutRuntime::dispatch(dag::VertexId v) {
     if (!uvm::writes(p.mode)) continue;
     const auto id = static_cast<GlobalArrayId>(p.array);
     const WriteEffect effect = directory_.written_on_worker(id, w);
+    // The controller is no longer a holder: a spilled copy is stale now
+    // and its spill-tier bytes come back.
+    governor_->release_spilled(id);
     if (effect.invalidations > 0 && cluster_->tracer().enabled()) {
       // Invalidation storm visibility: one span per shared write that
       // dropped replicas, tenant-tagged like the dispatch span above.
@@ -538,7 +544,7 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
                                                 tracing ? "ctl->" + std::to_string(worker) +
                                                               ":" + directory_.name_of(id)
                                                         : std::string{},
-                                                governor_->controller_ready(id));
+                                                governor_->acquire_controller_copy(id));
     ++metrics_.controller_sends;
   } else {
     // P2P branch: pick the up-to-date worker with the fastest *live* route.
@@ -590,7 +596,7 @@ bool GroutRuntime::wait_controller_copy(GlobalArrayId array) {
   // the data is not readable until that transfer lands. Drive the event
   // loop, but never past the run cap.
   sim::Simulator& sim = cluster_->simulator();
-  const gpusim::EventPtr pending = governor_->controller_ready(array);
+  const gpusim::EventPtr pending = governor_->acquire_controller_copy(array);
   while (pending != nullptr && !pending->completed()) {
     GROUT_CHECK(sim.pending_events() > 0,
                 "deadlock while waiting for a spill to reach the controller");
@@ -655,6 +661,9 @@ bool GroutRuntime::host_fetch(GlobalArrayId array) {
     sim.step();
   }
   directory_.add_controller_copy(array);
+  // The gather materialized a real controller copy; any stale spill-store
+  // entry (already superseded by a worker write) is redundant now.
+  governor_->release_spilled(array);
   return true;
 }
 
@@ -678,6 +687,20 @@ SchedulerMetrics& GroutRuntime::metrics() {
   // Per-tenant accounting (empty outside serve runs).
   metrics_.tenant_resident = governor_->resident_by_tenant();
   metrics_.tenant_quota = governor_->quota_by_tenant();
+  // Tiered spill store occupancy and pipeline counters.
+  const spill::SpillStats& ss = governor_->spill_store().stats();
+  metrics_.spill_dram_resident = ss.dram_resident;
+  metrics_.spill_dram_high_water = ss.dram_high_water;
+  metrics_.spill_nvme_resident = ss.nvme_resident;
+  metrics_.spill_nvme_high_water = ss.nvme_high_water;
+  metrics_.demotions = ss.demotions;
+  metrics_.promotions = ss.promotions;
+  metrics_.bytes_demoted = ss.bytes_demoted;
+  metrics_.bytes_promoted = ss.bytes_promoted;
+  metrics_.writeback_queue_peak = ss.writeback_queue_peak;
+  metrics_.spill_wait = ss.spill_wait;
+  metrics_.tenant_spill_dram = governor_->spill_store().tenant_dram();
+  metrics_.tenant_spill_nvme = governor_->spill_store().tenant_nvme();
   // Directory-traffic totals (shared-state contention visibility).
   metrics_.invalidations = directory_.invalidations();
   metrics_.ownership_transfers = directory_.ownership_transfers();

@@ -64,6 +64,10 @@ struct GroutConfig {
   /// staged through host DRAM, which the evaluation nodes provision at
   /// several times the GPU capacity.
   double worker_mem_headroom{8.0};
+  /// Tiered spill store (--spill-tiers/--controller-mem/--nvme-*) and the
+  /// background eviction watermarks (--watermarks). The default keeps the
+  /// flat synchronous single-tier behaviour.
+  spill::SpillConfig spill{};
   /// KPI autoscaling (--autoscale): every `autoscale_interval` of sim time
   /// the runtime feeds the window's kernel UVM reports to a KpiAutoscaler
   /// and applies its decision — hot-joining workers on scale-out, draining

@@ -6,14 +6,32 @@
 namespace grout::core {
 
 MemoryGovernor::MemoryGovernor(cluster::Cluster& cluster, CoherenceDirectory& directory,
-                               SchedulerMetrics& metrics, Bytes budget)
-    : cluster_{cluster}, directory_{directory}, metrics_{metrics}, budget_{budget} {
+                               SchedulerMetrics& metrics, Bytes budget,
+                               const spill::SpillConfig& spill)
+    : cluster_{cluster},
+      directory_{directory},
+      metrics_{metrics},
+      budget_{budget},
+      spill_{spill} {
+  spill_.validate();
   resident_.assign(cluster_.worker_count(), 0);
   high_water_.assign(cluster_.worker_count(), 0);
   replicas_.resize(cluster_.worker_count());
   evicted_once_.resize(cluster_.worker_count());
   drain_watch_.assign(cluster_.worker_count(), false);
+  sweep_armed_.assign(cluster_.worker_count(), false);
+  if (spill_.background() && bounded()) {
+    worker_high_mark_ =
+        static_cast<Bytes>(spill_.worker_high * static_cast<double>(budget_));
+    worker_low_mark_ = static_cast<Bytes>(spill_.worker_low * static_cast<double>(budget_));
+  }
+  store_ = spill::make_spill_store(
+      cluster_.simulator(), cluster_.tracer(), spill_,
+      [this](GlobalArrayId id) { return directory_.name_of(id); },
+      [this](GlobalArrayId id) { return array_owner(id); });
   metrics_.worker_mem_budget = budget_;
+  metrics_.spill_tiers = spill_.tiers;
+  metrics_.controller_spill_budget = spill_.controller_mem;
 }
 
 void MemoryGovernor::set_array_owner(GlobalArrayId id, TenantId tenant) {
@@ -78,8 +96,17 @@ void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>&
     if (!needed.insert(p.array).second) continue;
     if (!replicas_[w].contains(p.array)) incoming += p.bytes;
   }
+  const std::uint64_t evictions_before = metrics_.evictions;
+  const std::uint64_t spills_before = metrics_.spills;
   while (resident_[w] + incoming > budget_) {
     if (!evict_one(w, needed, tenant)) break;  // everything left is pinned or protected
+  }
+  if (background_eviction()) {
+    // With the background pipeline on, dispatch-path eviction is the
+    // hard-budget backstop only; count what the watermarks failed to
+    // absorb (it should be zero when headroom covers the incoming burst).
+    metrics_.dispatch_stall_evictions += metrics_.evictions - evictions_before;
+    metrics_.dispatch_stall_spills += metrics_.spills - spills_before;
   }
 }
 
@@ -93,6 +120,7 @@ void MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
   high_water_[w] = std::max(high_water_[w], resident_[w]);
   credit_tenant(id, it->second.bytes);
   if (evicted_once_[w].contains(id)) ++metrics_.refetches;
+  maybe_arm_sweep(w);
 }
 
 void MemoryGovernor::note_use(std::size_t w, GlobalArrayId id) {
@@ -154,6 +182,7 @@ void MemoryGovernor::add_worker() {
   replicas_.emplace_back();
   evicted_once_.emplace_back();
   drain_watch_.push_back(false);
+  sweep_armed_.push_back(false);
 }
 
 void MemoryGovernor::watch_drain(std::size_t w) {
@@ -192,8 +221,45 @@ std::size_t MemoryGovernor::drain_worker(std::size_t w) {
 }
 
 gpusim::EventPtr MemoryGovernor::controller_ready(GlobalArrayId id) const {
-  const auto it = spills_.find(id);
-  return it == spills_.end() ? nullptr : it->second;
+  return store_->pending(id);
+}
+
+gpusim::EventPtr MemoryGovernor::acquire_controller_copy(GlobalArrayId id) {
+  return store_->acquire(id);
+}
+
+void MemoryGovernor::release_spilled(GlobalArrayId id) { store_->release(id); }
+
+void MemoryGovernor::maybe_arm_sweep(std::size_t w) {
+  if (!background_eviction()) return;
+  if (resident_[w] <= worker_high_mark_ || sweep_armed_[w]) return;
+  sweep_armed_[w] = true;
+  cluster_.simulator().schedule_after(SimTime::zero(), [this, w] { background_sweep(w); });
+}
+
+void MemoryGovernor::background_sweep(std::size_t w) {
+  sweep_armed_[w] = false;
+  // Hysteresis: the sweep only ever *starts* above the high mark (the
+  // maybe_arm_sweep guard), but once started it owns the drain down to the
+  // low mark — including across batch-cap yields.
+  if (resident_[w] <= worker_low_mark_) return;  // pressure resolved meanwhile
+  ++metrics_.bg_sweeps;
+  const std::unordered_set<GlobalArrayId> keep;
+  Bytes reclaimed = 0;
+  while (resident_[w] > worker_low_mark_ && reclaimed < spill_.sweep_batch) {
+    const Bytes before = resident_[w];
+    if (!evict_one(w, keep)) break;  // everything left is pinned
+    reclaimed += before - resident_[w];
+    ++metrics_.bg_evictions;
+  }
+  metrics_.bg_bytes_evicted += reclaimed;
+  // Batch cap hit with the drain unfinished: yield the event loop and
+  // re-arm to continue. No progress means everything is pinned — the next
+  // note_ensure growth (or enforce at CE completion) re-establishes budget.
+  if (reclaimed > 0 && resident_[w] > worker_low_mark_ && !sweep_armed_[w]) {
+    sweep_armed_[w] = true;
+    cluster_.simulator().schedule_after(SimTime::zero(), [this, w] { background_sweep(w); });
+  }
 }
 
 bool MemoryGovernor::evict_one(std::size_t w, const std::unordered_set<GlobalArrayId>& keep,
@@ -288,8 +354,14 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
   evicted_once_[w].insert(id);
   ++metrics_.evictions;
   metrics_.bytes_evicted += rep.bytes;
-  cluster_.tracer().record(sim::TraceCategory::Eviction, "evict:" + directory_.name_of(id),
-                           "worker" + std::to_string(w), now, now);
+  if (cluster_.tracer().enabled()) {
+    // Victim id + byte count in the span name so per-tier timelines are
+    // attributable in to_chrome_json output (not just "which worker").
+    cluster_.tracer().record(sim::TraceCategory::Eviction,
+                             "evict:" + directory_.name_of(id) + "(a" + std::to_string(id) +
+                                 "," + std::to_string(rep.bytes) + "B)",
+                             "worker" + std::to_string(w), now, now);
+  }
 }
 
 gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayId id,
@@ -300,9 +372,10 @@ gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayI
       cluster::Cluster::worker_fabric_id(w), cluster::Cluster::controller_id(), bytes,
       "spill:" + directory_.name_of(id), staged.done);
   // Eager directory update (like plan_movement); consumers of the
-  // controller copy are ordered after `landed` via controller_ready().
+  // controller copy are ordered after whatever the spill store has in
+  // flight for it via acquire_controller_copy().
   directory_.add_controller_copy(id);
-  spills_[id] = landed;
+  store_->admit(id, bytes, landed);
   ++metrics_.spills;
   metrics_.bytes_spilled += bytes;
 
@@ -311,17 +384,14 @@ gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayI
     sim::Tracer* tp = &tracer;
     sim::Simulator* simp = &cluster_.simulator();
     const SimTime begin = simp->now();
-    const std::string name = "spill:" + directory_.name_of(id);
+    const std::string name = "spill:" + directory_.name_of(id) + "(a" + std::to_string(id) +
+                             "," + std::to_string(bytes) + "B)";
     const std::string loc = "worker" + std::to_string(w);
     landed->on_complete(
         [tp, simp, begin, name, loc] {
           tp->record(sim::TraceCategory::Eviction, name, loc, begin, simp->now());
         });
   }
-  landed->on_complete([this, id, landed] {
-    const auto it = spills_.find(id);
-    if (it != spills_.end() && it->second == landed) spills_.erase(it);
-  });
   return staged.done;
 }
 

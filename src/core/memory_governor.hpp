@@ -20,16 +20,25 @@
 // Coherence safety: a sole up-to-date copy is never dropped. It is spilled
 // to the controller first (Worker::stage_send + a fabric transfer), the
 // directory gains the controller copy eagerly, and any consumer of that
-// controller copy is ordered after the spill's arrival via
-// `controller_ready`. Replicas pinned by in-flight CEs — or staging an
-// outbound transfer — are not evictable. Freed replicas release their
-// worker-side allocation through UvmSpace::free_array.
+// controller copy is ordered after whatever the tiered spill store has in
+// flight for it via `acquire_controller_copy` — the write-back itself, or
+// an NVMe read-back when the copy was demoted. Replicas pinned by in-flight
+// CEs — or staging an outbound transfer — are not evictable. Freed replicas
+// release their worker-side allocation through UvmSpace::free_array.
+//
+// Eviction runs as a background pipeline when the spill config enables
+// worker watermarks: crossing `worker_high x budget` arms a batched sweep
+// (a fresh sim event) that reclaims cold replicas down to `worker_low x
+// budget`, so the CE dispatch path only ever evicts as a hard-budget
+// backstop — counted separately as dispatch stalls.
 //
 // Evictions and spills are visible as TraceCategory::Eviction spans
-// (location "workerN") and as SchedulerMetrics counters.
+// (location "workerN", named evict:/spill:NAME(aID,BYTESB)) and as
+// SchedulerMetrics counters; demotions/promotions trace on "controller".
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,14 +47,18 @@
 #include "core/directory.hpp"
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
+#include "core/spill/spill_store.hpp"
 
 namespace grout::core {
 
 class MemoryGovernor {
  public:
   /// `budget` bytes per worker; 0 = unbounded (the pre-governor behavior).
+  /// `spill` configures the tiered spill store and the background eviction
+  /// watermarks; the default keeps the flat synchronous behaviour.
   MemoryGovernor(cluster::Cluster& cluster, CoherenceDirectory& directory,
-                 SchedulerMetrics& metrics, Bytes budget);
+                 SchedulerMetrics& metrics, Bytes budget,
+                 const spill::SpillConfig& spill = {});
 
   MemoryGovernor(const MemoryGovernor&) = delete;
   MemoryGovernor& operator=(const MemoryGovernor&) = delete;
@@ -122,10 +135,29 @@ class MemoryGovernor {
   /// drain_migrated_bytes.
   std::size_t drain_worker(std::size_t w);
 
-  /// Arrival event of an in-flight spill that created the controller's
-  /// copy of `id`, or nullptr. A consumer reading the controller copy must
-  /// be ordered after it.
+  /// Arrival event of an in-flight spill (or NVMe operation) backing the
+  /// controller's copy of `id`, or nullptr. A consumer reading the
+  /// controller copy must be ordered after it. Pure peek — never starts a
+  /// read-back; consumers use acquire_controller_copy.
   [[nodiscard]] gpusim::EventPtr controller_ready(GlobalArrayId id) const;
+
+  /// Event a reader of the controller copy of `id` must be ordered after
+  /// (nullptr = readable now). Unlike controller_ready this *acquires* the
+  /// copy: a demoted one starts its NVMe read-back here.
+  gpusim::EventPtr acquire_controller_copy(GlobalArrayId id);
+
+  /// The array gained an authoritative copy outside the spill store (host
+  /// write, worker write, host-side gather): drop any spilled copy's tier
+  /// accounting. No-op for untracked arrays.
+  void release_spilled(GlobalArrayId id);
+
+  /// The tiered spill store (per-tier occupancy, demotion/promotion stats).
+  [[nodiscard]] const spill::SpillStore& spill_store() const { return *store_; }
+  [[nodiscard]] const spill::SpillConfig& spill_config() const { return spill_; }
+  /// True when watermark-triggered background eviction is active.
+  [[nodiscard]] bool background_eviction() const { return bounded() && spill_.background(); }
+  [[nodiscard]] Bytes worker_high_mark() const { return worker_high_mark_; }
+  [[nodiscard]] Bytes worker_low_mark() const { return worker_low_mark_; }
 
   // -- drain completion (event-driven) ---------------------------------------
 
@@ -160,19 +192,32 @@ class MemoryGovernor {
   /// Stage + send `w`'s sole up-to-date copy of `id` to the controller.
   /// Returns the "host copy consistent" event the local free must wait on.
   gpusim::EventPtr spill_to_controller(std::size_t w, GlobalArrayId id, Bytes bytes);
+  /// Arm the background sweep for `w` (once) when its residency crossed the
+  /// high watermark; the sweep runs from a fresh sim event.
+  void maybe_arm_sweep(std::size_t w);
+  /// One batched background round: evict down to the low watermark, at most
+  /// sweep_batch bytes per round, re-arming until the drain it started
+  /// reaches the low mark (hysteresis: arming needs the high mark crossed,
+  /// finishing only needs the low mark).
+  void background_sweep(std::size_t w);
 
   cluster::Cluster& cluster_;
   CoherenceDirectory& directory_;
   SchedulerMetrics& metrics_;
   Bytes budget_;
+  spill::SpillConfig spill_;
+  std::unique_ptr<spill::SpillStore> store_;
+  /// Background-eviction watermarks in bytes (0 when disabled).
+  Bytes worker_high_mark_{0};
+  Bytes worker_low_mark_{0};
+  /// Per-worker "sweep already scheduled" latch.
+  std::vector<bool> sweep_armed_;
   std::vector<Bytes> resident_;
   std::vector<Bytes> high_water_;
   std::vector<std::unordered_map<GlobalArrayId, Replica>> replicas_;
   /// Arrays each worker evicted at least once: a later re-ensure there is a
   /// refetch (the cost the victim picker trades against).
   std::vector<std::unordered_set<GlobalArrayId>> evicted_once_;
-  /// In-flight spills by array (erased when the transfer lands).
-  std::unordered_map<GlobalArrayId, gpusim::EventPtr> spills_;
   /// Owning tenant per array id (kNoTenant = shared); grown lazily.
   std::vector<TenantId> array_owner_;
   /// Cluster-wide resident replica bytes and quota per tenant.

@@ -35,6 +35,68 @@ TEST(Units, FormatBytes) {
   EXPECT_EQ(format_bytes(5_GiB + 512_MiB), "5.50 GiB");
 }
 
+TEST(Units, ParseBytesPlainAndSuffixed) {
+  EXPECT_EQ(parse_bytes("0"), 0u);
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_bytes("4096B"), 4096u);
+  EXPECT_EQ(parse_bytes("64KiB"), 64_KiB);
+  EXPECT_EQ(parse_bytes("3MiB"), 3_MiB);
+  EXPECT_EQ(parse_bytes("2GiB"), 2_GiB);
+  EXPECT_EQ(parse_bytes("1TiB"), Bytes{1} << 40);
+  // Binary interpretation for the short and "KB" spellings too.
+  EXPECT_EQ(parse_bytes("64K"), 64_KiB);
+  EXPECT_EQ(parse_bytes("64KB"), 64_KiB);
+  EXPECT_EQ(parse_bytes("2g"), 2_GiB);
+  EXPECT_EQ(parse_bytes("2Gb"), 2_GiB);
+  // Case-insensitive, optional whitespace around number and suffix.
+  EXPECT_EQ(parse_bytes("64kib"), 64_KiB);
+  EXPECT_EQ(parse_bytes("  64 KiB  "), 64_KiB);
+}
+
+TEST(Units, ParseBytesFractionsRoundToNearest) {
+  EXPECT_EQ(parse_bytes("1.5KiB"), 1536u);
+  EXPECT_EQ(parse_bytes("1.5GiB"), 1_GiB + 512_MiB);
+  EXPECT_EQ(parse_bytes("0.5MiB"), 512_KiB);
+  EXPECT_EQ(parse_bytes("2.5"), 3u);  // nearest byte
+}
+
+TEST(Units, ParseBytesRoundTripsFormatBytes) {
+  // format_bytes prints two decimals above 1 KiB; parsing its output must
+  // land within rounding distance of the original value.
+  for (const Bytes b : {Bytes{17}, 64_KiB, 3_MiB, 2_GiB, 5_GiB + 123_MiB}) {
+    const Bytes back = parse_bytes(format_bytes(b));
+    const double rel =
+        b == 0 ? 0.0
+               : std::abs(static_cast<double>(back) - static_cast<double>(b)) /
+                     static_cast<double>(b);
+    EXPECT_LT(rel, 0.01) << format_bytes(b) << " -> " << back;
+  }
+  // Exact byte counts survive exactly.
+  EXPECT_EQ(parse_bytes(format_bytes(Bytes{512})), 512u);
+}
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_THROW(parse_bytes(""), InvalidArgument);
+  EXPECT_THROW(parse_bytes("   "), InvalidArgument);
+  EXPECT_THROW(parse_bytes("banana"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("12 bananas"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("64KiBs"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("-1"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("-64KiB"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("nan"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("inf"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("0x10"), InvalidArgument);  // no hex spellings
+}
+
+TEST(Units, ParseBytesRejectsOverflow) {
+  EXPECT_THROW(parse_bytes("18446744073709551616"), InvalidArgument);  // 2^64
+  EXPECT_THROW(parse_bytes("16384PiB"), InvalidArgument);  // unknown suffix anyway
+  EXPECT_THROW(parse_bytes("99999999TiB"), InvalidArgument);
+  EXPECT_THROW(parse_bytes("1e400"), InvalidArgument);  // strtod overflow
+  // The largest representable values still parse.
+  EXPECT_EQ(parse_bytes("16383TiB"), Bytes{16383} << 40);
+}
+
 TEST(SimTimeTest, Constructors) {
   EXPECT_EQ(SimTime::from_ns(1500).ns(), 1500);
   EXPECT_DOUBLE_EQ(SimTime::from_us(2.5).us(), 2.5);

@@ -2,9 +2,10 @@
 //
 // Each seed deterministically generates a scenario — random DAG shapes,
 // all six placement policies, optional worker-death fault plans, bounded or
-// unbounded memory budgets, hot-joins and graceful drains — and asserts the
-// runtime invariants in tests/support/invariant_checker.hpp after every
-// step. The default seed count (200) is a tier-1 smoke sweep; nightly runs
+// unbounded memory budgets, hot-joins, graceful drains and (every third
+// seed) the tiered spill pipeline with guaranteed watermark headroom — and
+// asserts the runtime invariants in tests/support/invariant_checker.hpp
+// after every step. The default seed count (200) is a tier-1 smoke sweep; nightly runs
 // raise it via the GROUT_FUZZ_SEEDS environment variable (the tests carry
 // the "fuzz" ctest label for exactly that).
 #include <gtest/gtest.h>
@@ -70,6 +71,32 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
     case 1: cfg.worker_mem = 20_MiB; break;
     default: cfg.worker_mem = 32_MiB; break;
   }
+  // Array sizes are drawn up front so spill seeds can size their budgets
+  // against the total footprint before the runtime is constructed.
+  const std::size_t n_arrays = 3 + rng.next_below(6);
+  std::vector<Bytes> sizes;
+  sizes.reserve(n_arrays);
+  Bytes total_bytes = 0;
+  for (std::size_t i = 0; i < n_arrays; ++i) {
+    sizes.push_back((1 + rng.next_below(4)) * 1_MiB);
+    total_bytes += sizes.back();
+  }
+  // Every third seed (offset 2) runs the tiered spill pipeline: watermark
+  // background eviction on the workers over a bounded controller-DRAM tier
+  // with an unbounded NVMe tier below it. Budget = 2x the footprint with
+  // worker_high = 0.4 puts the high mark at 0.8x the footprint (sweeps must
+  // fire) while leaving 1.2x the footprint of headroom above it — so
+  // resident + incoming can never exceed the budget and synchronous
+  // dispatch-path eviction is structurally impossible, which the checker
+  // then asserts as a hard invariant.
+  const bool spill_tiers = seed % 3 == 2;
+  if (spill_tiers) {
+    cfg.worker_mem = 2 * total_bytes;
+    cfg.spill.tiers = 2;
+    cfg.spill.controller_mem = total_bytes / 2;
+    cfg.spill.worker_high = 0.4;
+    cfg.spill.worker_low = 0.3;
+  }
   // Every fifth seed (with enough workers to survive it) kills worker 0
   // mid-run, so membership churn and death recovery compose.
   const bool with_kill = seed % 5 == 0 && cfg.cluster.workers >= 3;
@@ -79,6 +106,7 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
 
   GroutRuntime rt(cfg);
   test::InvariantChecker chk(rt);
+  if (spill_tiers) chk.expect_no_dispatch_stalls();
   ScenarioOutcome out;
 
   // Every third seed serves two tenants through the same runtime: arrays
@@ -94,7 +122,6 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
     }
   }
 
-  const std::size_t n_arrays = 3 + rng.next_below(6);
   std::vector<GlobalArrayId> arrays;
   std::vector<TenantId> owners;
   arrays.reserve(n_arrays);
@@ -105,8 +132,7 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
     const std::uint64_t cat = i < 3 ? i : rng.next_below(3);
     const TenantId owner =
         multi_tenant && cat < kTenants ? static_cast<TenantId>(cat) : kNoTenant;
-    arrays.push_back(
-        rt.alloc((1 + rng.next_below(4)) * 1_MiB, "a" + std::to_string(i), owner));
+    arrays.push_back(rt.alloc(sizes[i], "a" + std::to_string(i), owner));
     owners.push_back(owner);
     rt.host_init(arrays.back());
     if (multi_tenant && owner == kNoTenant) chk.note_shared(arrays.back());
@@ -356,6 +382,33 @@ TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
   EXPECT_EQ(a.metrics.refetched_bytes, b.metrics.refetched_bytes);
   EXPECT_EQ(a.metrics.stale_evictions, b.metrics.stale_evictions);
   EXPECT_EQ(a.metrics.bytes_stale_evicted, b.metrics.bytes_stale_evicted);
+}
+
+TEST(DeterminismTest, SpillSeedIsBitIdentical) {
+  // Seed 8 runs the tiered spill pipeline (seed % 3 == 2): background
+  // sweeps, demotions, NVMe read-backs and their trace spans must all
+  // replay bit-identically.
+  const ScenarioOutcome a = run_scenario(8, /*check=*/false, /*trace=*/true);
+  const ScenarioOutcome b = run_scenario(8, /*check=*/false, /*trace=*/true);
+
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.trace_names, b.trace_names);
+  EXPECT_EQ(a.metrics.bg_sweeps, b.metrics.bg_sweeps);
+  EXPECT_EQ(a.metrics.bg_evictions, b.metrics.bg_evictions);
+  EXPECT_EQ(a.metrics.bg_bytes_evicted, b.metrics.bg_bytes_evicted);
+  EXPECT_EQ(a.metrics.demotions, b.metrics.demotions);
+  EXPECT_EQ(a.metrics.promotions, b.metrics.promotions);
+  EXPECT_EQ(a.metrics.bytes_demoted, b.metrics.bytes_demoted);
+  EXPECT_EQ(a.metrics.bytes_promoted, b.metrics.bytes_promoted);
+  EXPECT_EQ(a.metrics.spill_dram_high_water, b.metrics.spill_dram_high_water);
+  EXPECT_EQ(a.metrics.spill_nvme_high_water, b.metrics.spill_nvme_high_water);
+  EXPECT_EQ(a.metrics.writeback_queue_peak, b.metrics.writeback_queue_peak);
+  EXPECT_EQ(a.metrics.spill_wait, b.metrics.spill_wait);
+
+  // And the headroom guarantee held on both runs: the dispatch path never
+  // fell back to synchronous eviction.
+  EXPECT_EQ(a.metrics.dispatch_stall_evictions, 0u);
+  EXPECT_EQ(a.metrics.dispatch_stall_spills, 0u);
 }
 
 }  // namespace

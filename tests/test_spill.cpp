@@ -1,0 +1,508 @@
+// Tiered spill subsystem: the NVMe device model, the tiered spill store's
+// demotion/promotion state machine, and the memory governor's background
+// eviction pipeline built on top of them.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/grout_runtime.hpp"
+#include "core/memory_governor.hpp"
+#include "core/spill/nvme_model.hpp"
+#include "core/spill/spill_store.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace grout::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NvmeModel: bandwidth/latency/queue-depth device behaviour
+// ---------------------------------------------------------------------------
+
+/// 1 MiB/s write, 2 MiB/s read, 10 us per op: round numbers so expected
+/// completion times are exact.
+spill::NvmeSpec tiny_spec(std::size_t queue_depth = 1) {
+  spill::NvmeSpec spec;
+  spec.read_bw = Bandwidth::mib_per_sec(2.0);
+  spec.write_bw = Bandwidth::mib_per_sec(1.0);
+  spec.latency = SimTime::from_us(10.0);
+  spec.queue_depth = queue_depth;
+  return spec;
+}
+
+TEST(NvmeModel, WritePaysLatencyPlusBytesOverWriteBandwidth) {
+  sim::Simulator sim;
+  spill::NvmeModel nvme(sim, tiny_spec());
+  const gpusim::EventPtr done = nvme.write(1_MiB);
+  auto at = std::make_shared<SimTime>(SimTime::max());
+  done->on_complete([&sim, at] { *at = sim.now(); });
+  sim.run_until(SimTime::max());
+  EXPECT_EQ(*at, SimTime::from_us(10.0) + SimTime::from_seconds(1.0));
+  EXPECT_EQ(nvme.writes(), 1u);
+  EXPECT_EQ(nvme.bytes_written(), 1_MiB);
+  EXPECT_EQ(nvme.inflight(), 0u);
+}
+
+TEST(NvmeModel, ReadAndWriteBandwidthsAreAsymmetric) {
+  sim::Simulator sim;
+  spill::NvmeModel nvme(sim, tiny_spec());
+  const gpusim::EventPtr done = nvme.read(1_MiB);
+  auto at = std::make_shared<SimTime>(SimTime::max());
+  done->on_complete([&sim, at] { *at = sim.now(); });
+  sim.run_until(SimTime::max());
+  // Reads run at 2 MiB/s: half the write transfer time.
+  EXPECT_EQ(*at, SimTime::from_us(10.0) + SimTime::from_seconds(0.5));
+  EXPECT_EQ(nvme.reads(), 1u);
+  EXPECT_EQ(nvme.bytes_read(), 1_MiB);
+}
+
+TEST(NvmeModel, QueueDepthOneSerializesOperations) {
+  sim::Simulator sim;
+  spill::NvmeModel nvme(sim, tiny_spec(/*queue_depth=*/1));
+  auto at1 = std::make_shared<SimTime>(SimTime::max());
+  auto at2 = std::make_shared<SimTime>(SimTime::max());
+  nvme.write(1_MiB)->on_complete([&sim, at1] { *at1 = sim.now(); });
+  nvme.write(1_MiB)->on_complete([&sim, at2] { *at2 = sim.now(); });
+  EXPECT_EQ(nvme.queue_peak(), 2u);
+  sim.run_until(SimTime::max());
+  const SimTime op = SimTime::from_us(10.0) + SimTime::from_seconds(1.0);
+  EXPECT_EQ(*at1, op);
+  EXPECT_EQ(*at2, op + op);  // queued behind the single channel
+  EXPECT_EQ(nvme.inflight(), 0u);
+}
+
+TEST(NvmeModel, QueueDepthTwoRunsOperationsInParallel) {
+  sim::Simulator sim;
+  spill::NvmeModel nvme(sim, tiny_spec(/*queue_depth=*/2));
+  auto at1 = std::make_shared<SimTime>(SimTime::max());
+  auto at2 = std::make_shared<SimTime>(SimTime::max());
+  nvme.write(1_MiB)->on_complete([&sim, at1] { *at1 = sim.now(); });
+  nvme.write(1_MiB)->on_complete([&sim, at2] { *at2 = sim.now(); });
+  sim.run_until(SimTime::max());
+  const SimTime op = SimTime::from_us(10.0) + SimTime::from_seconds(1.0);
+  EXPECT_EQ(*at1, op);
+  EXPECT_EQ(*at2, op);  // both channels busy concurrently
+}
+
+TEST(NvmeModel, OperationChainedAfterEventWaitsForIt) {
+  sim::Simulator sim;
+  spill::NvmeModel nvme(sim, tiny_spec());
+  const gpusim::EventPtr gate = gpusim::make_event();
+  const gpusim::EventPtr done = nvme.read(1_MiB, gate);
+  sim.run_until(SimTime::max());
+  EXPECT_FALSE(done->completed());  // nothing issued until the gate fires
+  EXPECT_EQ(nvme.reads(), 0u);
+  EXPECT_EQ(nvme.inflight(), 1u);  // submitted, occupying the queue
+
+  gate->complete(sim.now());
+  sim.run_until(SimTime::max());
+  EXPECT_TRUE(done->completed());
+  EXPECT_EQ(nvme.reads(), 1u);
+  EXPECT_EQ(nvme.inflight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TieredSpillStore: admit/acquire/release, demotion, promotion
+// ---------------------------------------------------------------------------
+
+struct StoreRig {
+  explicit StoreRig(const spill::SpillConfig& cfg) {
+    store = spill::make_spill_store(
+        sim, tracer, cfg, [](GlobalArrayId id) { return "a" + std::to_string(id); },
+        [this](GlobalArrayId id) {
+          const auto it = owners.find(id);
+          return it == owners.end() ? kNoTenant : it->second;
+        });
+  }
+
+  sim::Simulator sim;
+  sim::Tracer tracer;
+  std::unordered_map<GlobalArrayId, TenantId> owners;
+  std::unique_ptr<spill::SpillStore> store;
+};
+
+/// Two-tier config with round marks: DRAM budget 10 MiB, demote at > 8 MiB
+/// down to 5 MiB.
+spill::SpillConfig two_tier() {
+  spill::SpillConfig cfg;
+  cfg.tiers = 2;
+  cfg.controller_mem = 10_MiB;
+  cfg.demote_high = 0.8;
+  cfg.demote_low = 0.5;
+  cfg.nvme = tiny_spec(/*queue_depth=*/4);
+  return cfg;
+}
+
+TEST(SpillStore, AdmitTracksInflightWritebackUntilItLands) {
+  spill::SpillConfig cfg;  // 1-tier defaults
+  StoreRig rig(cfg);
+  const gpusim::EventPtr landed = gpusim::make_event();
+  rig.store->admit(7, 2_MiB, landed);
+
+  EXPECT_TRUE(rig.store->tracks(7));
+  EXPECT_EQ(rig.store->tier_of(7), spill::SpillTier::ControllerDram);
+  EXPECT_EQ(rig.store->stats().dram_resident, 2_MiB);
+  EXPECT_EQ(rig.store->stats().writeback_inflight, 1u);
+  EXPECT_NE(rig.store->pending(7), nullptr);
+
+  landed->complete(rig.sim.now());
+  EXPECT_EQ(rig.store->pending(7), nullptr);
+  EXPECT_EQ(rig.store->stats().writeback_inflight, 0u);
+  EXPECT_EQ(rig.store->stats().writeback_queue_peak, 1u);
+
+  rig.store->release(7);
+  EXPECT_FALSE(rig.store->tracks(7));
+  EXPECT_EQ(rig.store->stats().dram_resident, 0u);
+}
+
+TEST(SpillStore, ReAdmitSupersedesTheOlderSpill) {
+  spill::SpillConfig cfg;
+  StoreRig rig(cfg);
+  const gpusim::EventPtr first = gpusim::make_event();
+  const gpusim::EventPtr second = gpusim::make_event();
+  rig.store->admit(3, 2_MiB, first);
+  rig.store->admit(3, 1_MiB, second);  // fresher spill of the same array
+
+  // Accounting reflects only the superseding spill, and the stale landing
+  // must not mark the new copy readable.
+  EXPECT_EQ(rig.store->stats().dram_resident, 1_MiB);
+  first->complete(rig.sim.now());
+  EXPECT_NE(rig.store->pending(3), nullptr);
+  second->complete(rig.sim.now());
+  EXPECT_EQ(rig.store->pending(3), nullptr);
+  EXPECT_EQ(rig.store->stats().writeback_inflight, 0u);
+}
+
+TEST(SpillStore, DemotionSweepDrainsDramToTheLowWatermark) {
+  StoreRig rig(two_tier());
+  // Three landed 3 MiB entries: 9 MiB > the 8 MiB high mark.
+  rig.store->admit(0, 3_MiB, nullptr);
+  rig.store->admit(1, 3_MiB, nullptr);
+  rig.store->admit(2, 3_MiB, nullptr);
+  rig.sim.run_until(SimTime::max());
+
+  // Equal size and last_use: array id breaks the tie, so a0 and a1 go down
+  // (9 -> 6 -> 3 MiB <= the 5 MiB low mark).
+  const spill::SpillStats& ss = rig.store->stats();
+  EXPECT_EQ(ss.demote_sweeps, 1u);
+  EXPECT_EQ(ss.demotions, 2u);
+  EXPECT_EQ(ss.bytes_demoted, 6_MiB);
+  EXPECT_EQ(ss.dram_resident, 3_MiB);
+  EXPECT_EQ(ss.nvme_resident, 6_MiB);
+  EXPECT_EQ(rig.store->tier_of(0), spill::SpillTier::Nvme);
+  EXPECT_EQ(rig.store->tier_of(1), spill::SpillTier::Nvme);
+  EXPECT_EQ(rig.store->tier_of(2), spill::SpillTier::ControllerDram);
+  ASSERT_NE(rig.store->nvme(), nullptr);
+  EXPECT_EQ(rig.store->nvme()->writes(), 2u);
+}
+
+TEST(SpillStore, AcquirePromotesFromNvmeAndCountsConsumerWait) {
+  StoreRig rig(two_tier());
+  rig.store->admit(0, 3_MiB, nullptr);
+  rig.store->admit(1, 3_MiB, nullptr);
+  rig.store->admit(2, 3_MiB, nullptr);
+  rig.sim.run_until(SimTime::max());
+  ASSERT_EQ(rig.store->tier_of(0), spill::SpillTier::Nvme);
+
+  // The read-back starts immediately; tier accounting moves at submission.
+  const gpusim::EventPtr ready = rig.store->acquire(0);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(rig.store->tier_of(0), spill::SpillTier::ControllerDram);
+  EXPECT_EQ(rig.store->stats().promotions, 1u);
+  EXPECT_EQ(rig.store->stats().bytes_promoted, 3_MiB);
+
+  rig.sim.run_until(SimTime::max());
+  EXPECT_TRUE(ready->completed());
+  EXPECT_EQ(rig.store->acquire(0), nullptr);  // readable now
+  EXPECT_EQ(rig.store->nvme()->reads(), 1u);
+  EXPECT_GT(rig.store->stats().spill_wait, SimTime::zero());
+}
+
+TEST(SpillStore, PromotionChainsAfterTheInflightDemotionWrite) {
+  StoreRig rig(two_tier());
+  rig.store->admit(0, 3_MiB, nullptr);
+  rig.store->admit(1, 3_MiB, nullptr);
+  rig.store->admit(2, 3_MiB, nullptr);
+  // Run exactly the demotion sweep (a zero-delay event): the NVMe writes
+  // are now in flight but far from durable.
+  ASSERT_TRUE(rig.sim.step());
+  ASSERT_EQ(rig.store->tier_of(0), spill::SpillTier::Nvme);
+  ASSERT_NE(rig.store->pending(0), nullptr);
+
+  // Acquiring mid-demotion must order the read-back after the write: the
+  // data cannot be read off flash before it was written there.
+  const gpusim::EventPtr ready = rig.store->acquire(0);
+  ASSERT_NE(ready, nullptr);
+  auto at = std::make_shared<SimTime>(SimTime::max());
+  ready->on_complete([&rig, at] { *at = rig.sim.now(); });
+  rig.sim.run_until(SimTime::max());
+  // 3 MiB write at 1 MiB/s, then 3 MiB read at 2 MiB/s, 10 us latency each.
+  const SimTime write_done = SimTime::from_us(10.0) + SimTime::from_seconds(3.0);
+  EXPECT_GE(*at, write_done + SimTime::from_us(10.0) + SimTime::from_seconds(1.5));
+  EXPECT_EQ(rig.store->tier_of(0), spill::SpillTier::ControllerDram);
+}
+
+TEST(SpillStore, BoundedNvmeSkipsVictimsThatWouldNotFit) {
+  spill::SpillConfig cfg = two_tier();
+  cfg.controller_mem = 4_MiB;
+  cfg.demote_high = 0.5;   // demote above 2 MiB...
+  cfg.demote_low = 0.25;   // ...down to 1 MiB
+  cfg.nvme.capacity = 3_MiB;
+  StoreRig rig(cfg);
+  rig.store->admit(0, 2_MiB, nullptr);
+  rig.store->admit(1, 2_MiB, nullptr);
+  rig.sim.run_until(SimTime::max());
+
+  // a0 fits (2 MiB <= 3 MiB); a1 would overflow the tier and must stay in
+  // DRAM even though the low watermark was not reached.
+  EXPECT_EQ(rig.store->tier_of(0), spill::SpillTier::Nvme);
+  EXPECT_EQ(rig.store->tier_of(1), spill::SpillTier::ControllerDram);
+  EXPECT_LE(rig.store->stats().nvme_resident, cfg.nvme.capacity);
+}
+
+TEST(SpillStore, PerTenantTierAccountingFollowsTheBytes) {
+  StoreRig rig(two_tier());
+  rig.owners[0] = 1;  // tenant 1 owns a0; a1 is shared
+  rig.store->admit(0, 9_MiB, nullptr);  // above the high mark: demoted
+  rig.sim.run_until(SimTime::max());
+  ASSERT_EQ(rig.store->tier_of(0), spill::SpillTier::Nvme);
+  ASSERT_GE(rig.store->tenant_nvme().size(), 2u);
+  EXPECT_EQ(rig.store->tenant_nvme()[1], 9_MiB);
+  EXPECT_EQ(rig.store->tenant_dram().size() > 1 ? rig.store->tenant_dram()[1] : 0u, 0u);
+
+  rig.store->release(0);
+  EXPECT_EQ(rig.store->tenant_nvme()[1], 0u);
+}
+
+TEST(SpillStore, GuardsRejectMisuse) {
+  spill::SpillConfig cfg;
+  StoreRig rig(cfg);
+  EXPECT_THROW(rig.store->admit(0, 0, nullptr), InvalidArgument);
+  EXPECT_THROW(rig.store->tier_of(42), InvalidArgument);
+}
+
+TEST(SpillConfigValidate, RejectsInconsistentKnobs) {
+  const auto invalid = [](auto mutate) {
+    spill::SpillConfig cfg;
+    cfg.tiers = 2;
+    cfg.controller_mem = 1_MiB;
+    mutate(cfg);
+    EXPECT_THROW(cfg.validate(), InvalidArgument);
+  };
+  invalid([](spill::SpillConfig& c) { c.tiers = 0; });
+  invalid([](spill::SpillConfig& c) { c.tiers = 3; });
+  invalid([](spill::SpillConfig& c) { c.controller_mem = 0; });  // NVMe needs a budget
+  invalid([](spill::SpillConfig& c) { c.demote_high = 0.0; });
+  invalid([](spill::SpillConfig& c) { c.demote_high = 1.5; });
+  invalid([](spill::SpillConfig& c) { c.demote_low = 0.9; c.demote_high = 0.5; });
+  invalid([](spill::SpillConfig& c) { c.worker_high = -0.1; });
+  invalid([](spill::SpillConfig& c) { c.worker_low = 0.8; c.worker_high = 0.5; });
+  invalid([](spill::SpillConfig& c) { c.sweep_batch = 0; });
+  invalid([](spill::SpillConfig& c) { c.nvme.queue_depth = 0; });
+  invalid([](spill::SpillConfig& c) { c.nvme.read_bw = Bandwidth{}; });
+
+  spill::SpillConfig ok;  // the 1-tier defaults must stay valid
+  EXPECT_NO_THROW(ok.validate());
+}
+
+// ---------------------------------------------------------------------------
+// MemoryGovernor: watermark-triggered background eviction pipeline
+// ---------------------------------------------------------------------------
+
+cluster::ClusterConfig small_cluster(std::size_t workers) {
+  cluster::ClusterConfig cfg;
+  cfg.workers = workers;
+  cfg.worker_node.gpu_count = 2;
+  cfg.worker_node.device.memory = 16_MiB;
+  cfg.worker_node.tuning.page_size = 1_MiB;
+  return cfg;
+}
+
+struct PipelineRig {
+  PipelineRig(Bytes budget, const spill::SpillConfig& spill, std::size_t workers = 1)
+      : cluster(small_cluster(workers)),
+        directory(workers),
+        governor(cluster, directory, metrics, budget, spill) {}
+
+  GlobalArrayId add(std::size_t w, Bytes bytes, const std::string& name) {
+    const GlobalArrayId id = directory.register_array(bytes, name);
+    cluster.worker(w).ensure_array(id, bytes, name);
+    governor.note_ensure(w, id);
+    return id;
+  }
+
+  cluster::Cluster cluster;
+  CoherenceDirectory directory;
+  SchedulerMetrics metrics;
+  MemoryGovernor governor;
+};
+
+/// Background eviction at > 50% of budget, draining to 30%.
+spill::SpillConfig background_cfg() {
+  spill::SpillConfig cfg;
+  cfg.worker_high = 0.5;
+  cfg.worker_low = 0.3;
+  return cfg;
+}
+
+TEST(GovernorPipeline, SweepDrainsWorkerToTheLowWatermarkOffTheDispatchPath) {
+  PipelineRig rig(10_MiB, background_cfg());
+  ASSERT_TRUE(rig.governor.background_eviction());
+  EXPECT_EQ(rig.governor.worker_high_mark(), 5_MiB);
+  EXPECT_EQ(rig.governor.worker_low_mark(), 3_MiB);
+
+  rig.add(0, 2_MiB, "a");
+  rig.add(0, 2_MiB, "b");
+  EXPECT_EQ(rig.metrics.bg_sweeps, 0u);  // 4 MiB: under the high mark
+  rig.add(0, 2_MiB, "c");                // 6 MiB: pressure
+  rig.cluster.simulator().run_until(SimTime::max());
+
+  EXPECT_EQ(rig.metrics.bg_sweeps, 1u);
+  EXPECT_EQ(rig.metrics.bg_evictions, 2u);  // 6 -> 4 -> 2 MiB
+  EXPECT_EQ(rig.metrics.bg_bytes_evicted, 4_MiB);
+  EXPECT_EQ(rig.governor.resident_bytes(0), 2_MiB);
+  // The watermarks absorbed everything: the dispatch path never stalled.
+  EXPECT_EQ(rig.metrics.dispatch_stall_evictions, 0u);
+  EXPECT_EQ(rig.metrics.dispatch_stall_spills, 0u);
+}
+
+TEST(GovernorPipeline, SweepSpillsSoleCopiesThroughTheStore) {
+  PipelineRig rig(10_MiB, background_cfg());
+  const GlobalArrayId a = rig.add(0, 3_MiB, "a");
+  const GlobalArrayId b = rig.add(0, 3_MiB, "b");
+  rig.directory.written_on_worker(a, 0);  // both sole worker copies
+  rig.directory.written_on_worker(b, 0);
+  rig.cluster.simulator().run_until(SimTime::max());
+
+  EXPECT_GE(rig.metrics.spills, 1u);
+  EXPECT_TRUE(rig.directory.up_to_date_on_controller(a));
+  EXPECT_TRUE(rig.governor.spill_store().tracks(a));
+  EXPECT_EQ(rig.governor.controller_ready(a), nullptr);  // landed by now
+  EXPECT_EQ(rig.metrics.dispatch_stall_spills, 0u);
+}
+
+TEST(GovernorPipeline, SweepBatchCapYieldsAndReArms) {
+  spill::SpillConfig cfg = background_cfg();
+  cfg.worker_low = 0.1;     // drain to 1 MiB...
+  cfg.sweep_batch = 2_MiB;  // ...at most 2 MiB per sweep round
+  PipelineRig rig(10_MiB, cfg);
+  rig.add(0, 2_MiB, "a");
+  rig.add(0, 2_MiB, "b");
+  rig.add(0, 2_MiB, "c");  // 6 MiB resident
+  rig.cluster.simulator().run_until(SimTime::max());
+
+  // 6 -> 4 -> 2 -> 0 MiB, one eviction per round before the cap re-arms.
+  EXPECT_EQ(rig.metrics.bg_sweeps, 3u);
+  EXPECT_EQ(rig.metrics.bg_evictions, 3u);
+  EXPECT_EQ(rig.governor.resident_bytes(0), 0u);
+}
+
+TEST(GovernorPipeline, DispatchBackstopCountsWhatTheWatermarksMissed) {
+  PipelineRig rig(4_MiB, background_cfg());
+  rig.add(0, 2_MiB, "a");  // at the 2 MiB high mark: no sweep armed
+  // A 3 MiB incoming burst exceeds the leftover headroom: make_room has to
+  // evict synchronously, and with the pipeline on that is a counted stall.
+  const GlobalArrayId in = rig.directory.register_array(3_MiB, "in");
+  rig.governor.make_room(0, {PlacementParam{in, 3_MiB, true}});
+  EXPECT_EQ(rig.metrics.dispatch_stall_evictions, 1u);
+  EXPECT_EQ(rig.governor.resident_bytes(0), 0u);
+}
+
+TEST(GovernorPipeline, SynchronousModeCountsNoStalls) {
+  PipelineRig rig(4_MiB, spill::SpillConfig{});  // worker_high == 1.0
+  ASSERT_FALSE(rig.governor.background_eviction());
+  rig.add(0, 2_MiB, "a");
+  const GlobalArrayId in = rig.directory.register_array(3_MiB, "in");
+  rig.governor.make_room(0, {PlacementParam{in, 3_MiB, true}});
+  EXPECT_EQ(rig.metrics.evictions, 1u);
+  // Synchronous eviction IS the pipeline here, not a stall of one.
+  EXPECT_EQ(rig.metrics.dispatch_stall_evictions, 0u);
+}
+
+TEST(GovernorPipeline, ConstructorValidatesTheSpillConfig) {
+  cluster::Cluster c(small_cluster(1));
+  CoherenceDirectory dir(1);
+  SchedulerMetrics metrics;
+  spill::SpillConfig bad;
+  bad.tiers = 2;  // NVMe tier without a controller DRAM budget
+  EXPECT_THROW(MemoryGovernor(c, dir, metrics, 10_MiB, bad), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: oversubscribed two-tier runtime
+// ---------------------------------------------------------------------------
+
+TEST(SpillEndToEnd, TwoTierOversubscriptionCompletesAndReadsBackFromNvme) {
+  GroutConfig cfg;
+  cfg.cluster.workers = 2;
+  cfg.cluster.worker_node.gpu_count = 2;
+  cfg.cluster.worker_node.device.memory = 16_MiB;
+  cfg.cluster.worker_node.tuning.page_size = 1_MiB;
+  cfg.cluster.trace = true;
+  cfg.worker_mem = 6_MiB;
+  cfg.spill.tiers = 2;
+  cfg.spill.controller_mem = 4_MiB;
+  cfg.spill.worker_high = 0.5;
+  cfg.spill.worker_low = 0.25;
+  cfg.spill.demote_high = 0.5;
+  cfg.spill.demote_low = 0.25;
+  GroutRuntime rt(cfg);
+
+  // 16 MiB of sole-copy producer output against 6 MiB per worker and 4 MiB
+  // of controller spill DRAM: the run only fits because copies cascade
+  // worker -> controller DRAM -> NVMe. Launches are paced (synchronize
+  // between CEs) so in-flight pins lapse and the watermark headroom covers
+  // every burst — the bounded-memory guarantee the pipeline promises.
+  std::vector<GlobalArrayId> arrays;
+  for (int i = 0; i < 8; ++i) {
+    arrays.push_back(rt.alloc(2_MiB, "big" + std::to_string(i)));
+    rt.host_init(arrays.back());
+    gpusim::KernelLaunchSpec spec;
+    spec.name = "produce" + std::to_string(i);
+    spec.flops = 1e9;
+    spec.params.push_back(
+        uvm::ParamAccess{arrays.back(), {}, uvm::AccessMode::Write, uvm::StreamingPattern{}});
+    rt.launch(std::move(spec));
+    ASSERT_TRUE(rt.synchronize());
+  }
+
+  const SchedulerMetrics m = rt.metrics();
+  EXPECT_GT(m.bg_sweeps, 0u);
+  EXPECT_GT(m.spills, 0u);
+  EXPECT_GT(m.demotions, 0u);
+  EXPECT_EQ(m.dispatch_stall_evictions, 0u);  // headroom covered every burst
+  EXPECT_EQ(m.dispatch_stall_spills, 0u);
+  for (std::size_t w = 0; w < 2; ++w) {
+    ASSERT_LT(w, m.worker_high_water.size());
+    EXPECT_LE(m.worker_high_water[w], cfg.worker_mem);
+  }
+
+  // Reading everything back to the host forces NVMe promotions and must
+  // recover every byte.
+  for (const GlobalArrayId a : arrays) {
+    EXPECT_TRUE(rt.host_fetch(a)) << "array " << a << " lost in the tiers";
+  }
+  EXPECT_GT(rt.metrics().promotions, 0u);
+  EXPECT_LE(rt.metrics().spill_dram_resident, cfg.spill.controller_mem);
+
+  // The pipeline's trace spans carry operation, array id and byte count.
+  bool saw_demote = false;
+  bool saw_promote = false;
+  for (const sim::TraceSpan& span : rt.cluster().tracer().spans()) {
+    if (span.name.rfind("demote:", 0) == 0) {
+      saw_demote = true;
+      EXPECT_EQ(span.location, "controller");
+      EXPECT_NE(span.name.find("(a"), std::string::npos);
+      EXPECT_NE(span.name.find("B)"), std::string::npos);
+    }
+    if (span.name.rfind("promote:", 0) == 0) saw_promote = true;
+  }
+  EXPECT_TRUE(saw_demote);
+  EXPECT_TRUE(saw_promote);
+}
+
+}  // namespace
+}  // namespace grout::core

@@ -51,6 +51,7 @@ struct Options {
   bool shared_matrix = false;
   std::string eviction = "lru";
   std::optional<double> worker_mem_gib;  // per-worker replica budget; 0 = unbounded
+  core::spill::SpillConfig spill;        // tiered spill store + watermarks
   std::string format = "text";  // text | markdown | csv
   std::optional<std::string> trace_path;
   net::FaultPlan fault_plan;
@@ -86,6 +87,23 @@ struct Options {
                "  --worker-mem <gib>              (per-worker replica-cache budget;\n"
                "                                   0 = unbounded; default: node GPU\n"
                "                                   memory x headroom)\n"
+               "  --spill-tiers 1|2               (1 = controller DRAM only; 2 = + NVMe;\n"
+               "                                   default 1)\n"
+               "  --controller-mem <bytes>        (spilled-bytes budget in controller DRAM,\n"
+               "                                   byte suffixes OK e.g. 512MiB; 0 =\n"
+               "                                   unbounded; required for --spill-tiers 2)\n"
+               "  --watermarks <low,high>         (worker-budget fractions; crossing high\n"
+               "                                   wakes background eviction down to low;\n"
+               "                                   high=1 disables, the default)\n"
+               "  --demote-watermarks <low,high>  (DRAM-tier fractions driving demotion\n"
+               "                                   to NVMe; default 0.70,0.85)\n"
+               "  --spill-batch <bytes>           (max bytes per background sweep round;\n"
+               "                                   default 64MiB)\n"
+               "  --nvme-bw <gibs>|<r>,<w>        (NVMe read[,write] GiB/s; default 3.2,1.4)\n"
+               "  --nvme-lat <us>                 (NVMe per-op latency; default 80)\n"
+               "  --nvme-qd <n>                   (NVMe queue depth / parallel channels;\n"
+               "                                   default 8)\n"
+               "  --nvme-capacity <bytes>         (NVMe tier capacity; 0 = unbounded)\n"
                "  --format text|markdown|csv      (sweep/policies output)\n"
                "  --trace <file.json>             (chrome://tracing output)\n"
                "  --fault-plan <spec>             (grout backend; ','/';'-separated:\n"
@@ -149,6 +167,42 @@ core::ExplorationLevel parse_exploration(const std::string& s) {
   usage(("unknown exploration level: " + s).c_str());
 }
 
+/// Strict numeric flag parsing: the whole token must be a finite number.
+/// "abc", "1x", "nan" and "inf" all die with a clear message instead of
+/// misconfiguring the run silently (the parse_arrival hardening idiom).
+double parse_number(const std::string& flag, const std::string& s) {
+  double v = 0.0;
+  std::size_t used = 0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    usage((flag + ": not a number: '" + s + "'").c_str());
+  }
+  if (used != s.size() || !std::isfinite(v)) {
+    usage((flag + ": not a finite number: '" + s + "'").c_str());
+  }
+  return v;
+}
+
+Bytes parse_bytes_flag(const std::string& flag, const std::string& s) {
+  try {
+    return parse_bytes(s);
+  } catch (const grout::Error& e) {
+    usage((flag + ": " + e.what()).c_str());
+  }
+}
+
+std::pair<double, double> parse_watermark_pair(const std::string& flag, const std::string& s) {
+  const auto parts = split(s, ',');
+  if (parts.size() != 2) usage((flag + ": expected low,high fractions").c_str());
+  const double lo = parse_number(flag, std::string(parts[0]));
+  const double hi = parse_number(flag, std::string(parts[1]));
+  if (!(lo > 0.0) || lo > hi || hi > 1.0) {
+    usage((flag + ": need 0 < low <= high <= 1, got '" + s + "'").c_str());
+  }
+  return {lo, hi};
+}
+
 Options parse_args(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   Options opt;
@@ -200,8 +254,49 @@ Options parse_args(int argc, char** argv) {
     } else if (flag == "--eviction") {
       opt.eviction = next();
     } else if (flag == "--worker-mem") {
-      opt.worker_mem_gib = std::stod(next());
-      if (*opt.worker_mem_gib < 0.0) usage("--worker-mem must be >= 0");
+      opt.worker_mem_gib = parse_number(flag, next());
+      // 0 is a documented value (unbounded); negatives, NaN and garbage
+      // must die here instead of misconfiguring the governor silently.
+      if (*opt.worker_mem_gib < 0.0) usage("--worker-mem must be >= 0 GiB");
+    } else if (flag == "--spill-tiers") {
+      const double tiers = parse_number(flag, next());
+      if (tiers != 1.0 && tiers != 2.0) usage("--spill-tiers must be 1 or 2");
+      opt.spill.tiers = static_cast<std::size_t>(tiers);
+    } else if (flag == "--controller-mem") {
+      opt.spill.controller_mem = parse_bytes_flag(flag, next());
+    } else if (flag == "--watermarks") {
+      const auto [lo, hi] = parse_watermark_pair(flag, next());
+      opt.spill.worker_low = lo;
+      opt.spill.worker_high = hi;
+    } else if (flag == "--demote-watermarks") {
+      const auto [lo, hi] = parse_watermark_pair(flag, next());
+      opt.spill.demote_low = lo;
+      opt.spill.demote_high = hi;
+    } else if (flag == "--spill-batch") {
+      opt.spill.sweep_batch = parse_bytes_flag(flag, next());
+      if (opt.spill.sweep_batch == 0) usage("--spill-batch must be positive bytes");
+    } else if (flag == "--nvme-bw") {
+      const std::string value = next();
+      const auto parts = split(value, ',');
+      if (parts.empty() || parts.size() > 2) usage("--nvme-bw: expected <gibs> or <r>,<w>");
+      const double read = parse_number(flag, std::string(parts[0]));
+      const double write =
+          parts.size() == 2 ? parse_number(flag, std::string(parts[1])) : read;
+      if (read <= 0.0 || write <= 0.0) usage("--nvme-bw must be positive GiB/s");
+      opt.spill.nvme.read_bw = Bandwidth::gib_per_sec(read);
+      opt.spill.nvme.write_bw = Bandwidth::gib_per_sec(write);
+    } else if (flag == "--nvme-lat") {
+      const double us = parse_number(flag, next());
+      if (us < 0.0) usage("--nvme-lat must be >= 0 us");
+      opt.spill.nvme.latency = SimTime::from_us(us);
+    } else if (flag == "--nvme-qd") {
+      const double qd = parse_number(flag, next());
+      if (qd < 1.0 || qd != static_cast<double>(static_cast<std::size_t>(qd))) {
+        usage("--nvme-qd must be a positive integer");
+      }
+      opt.spill.nvme.queue_depth = static_cast<std::size_t>(qd);
+    } else if (flag == "--nvme-capacity") {
+      opt.spill.nvme.capacity = parse_bytes_flag(flag, next());
     } else if (flag == "--format") {
       opt.format = next();
       if (opt.format != "text" && opt.format != "markdown" && opt.format != "csv") {
@@ -253,6 +348,13 @@ Options parse_args(int argc, char** argv) {
       usage(("unknown flag: " + flag).c_str());
     }
   }
+  // Cross-knob consistency (NVMe tier without a DRAM budget, watermark
+  // ordering, ...) dies at parse time too, not inside the governor.
+  try {
+    opt.spill.validate();
+  } catch (const grout::Error& e) {
+    usage(e.what());
+  }
   return opt;
 }
 
@@ -302,6 +404,7 @@ core::GroutConfig grout_config_of(const Options& opt) {
   if (opt.worker_mem_gib) {
     cfg.worker_mem = static_cast<Bytes>(*opt.worker_mem_gib * 1073741824.0);
   }
+  cfg.spill = opt.spill;
   return cfg;
 }
 
@@ -392,6 +495,30 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
                   format_bytes(m.worker_high_water[w]).c_str());
     }
     std::printf("\n");
+    if (m.spill_tiers > 1 || m.spill_dram_high_water > 0) {
+      std::printf("  spill tiers:     %zu; DRAM budget %s, peak DRAM %s, peak NVMe %s\n",
+                  m.spill_tiers,
+                  m.controller_spill_budget == 0
+                      ? "unbounded"
+                      : format_bytes(m.controller_spill_budget).c_str(),
+                  format_bytes(m.spill_dram_high_water).c_str(),
+                  format_bytes(m.spill_nvme_high_water).c_str());
+      std::printf("  spill pipeline:  %llu bg sweeps, %llu bg evictions (%s); "
+                  "%llu demotions (%s), %llu promotions (%s)\n",
+                  static_cast<unsigned long long>(m.bg_sweeps),
+                  static_cast<unsigned long long>(m.bg_evictions),
+                  format_bytes(m.bg_bytes_evicted).c_str(),
+                  static_cast<unsigned long long>(m.demotions),
+                  format_bytes(m.bytes_demoted).c_str(),
+                  static_cast<unsigned long long>(m.promotions),
+                  format_bytes(m.bytes_promoted).c_str());
+      std::printf("  spill pressure:  writeback queue peak %llu, consumer wait %s, "
+                  "dispatch stalls %llu evictions / %llu spills\n",
+                  static_cast<unsigned long long>(m.writeback_queue_peak),
+                  format_time(m.spill_wait).c_str(),
+                  static_cast<unsigned long long>(m.dispatch_stall_evictions),
+                  static_cast<unsigned long long>(m.dispatch_stall_spills));
+    }
     std::printf("uvm:\n");
     std::printf("  fetched %s, written back %s, %llu evictions, %llu/%llu storm kernels\n",
                 format_bytes(stats.bytes_fetched).c_str(),
