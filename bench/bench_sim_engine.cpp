@@ -1,0 +1,383 @@
+// Event-engine bench: serial Simulator vs conservative ParallelSimulator.
+//
+// Three sections, written to BENCH_parsim.json (argv[1] overrides):
+//
+//   1. single-domain events/sec — pure engine overhead on an event cascade
+//      that never crosses domains (the parallel engine must match the
+//      serial engine's execution bit-for-bit AND stay in the same
+//      performance class, since every event lands in domain 0);
+//   2. coupled-domain events/sec — a full-mesh topology exchanging
+//      lookahead-respecting messages, 1 thread vs N threads (the merge is
+//      deterministic, so the per-domain execution checksums must be
+//      thread-count invariant);
+//   3. fig10-style serving sweep — K independent serving points run
+//      sequentially on dedicated serial engines vs concurrently as K
+//      isolated domains of one shared parallel engine (the transparent
+//      scale-out case the tentpole targets). Reports must be
+//      bit-identical; wall-clock speedup is the payoff.
+//
+// Exit codes: 0 ok; 2 divergence (always fatal, any host); 3 speedup below
+// the 1.5x bar at 4 threads (enforced only when the host actually has >= 4
+// hardware threads — a 1-core container cannot speed anything up, but it
+// can still prove determinism).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/grout_runtime.hpp"
+#include "serve/serve.hpp"
+#include "sim/domain_view.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace grout;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: single-domain cascade
+// ---------------------------------------------------------------------------
+
+struct CascadeResult {
+  double wall_s{0.0};
+  double events_per_s{0.0};
+  std::uint64_t executed{0};
+  std::uint64_t checksum{0};
+  SimTime final_now{SimTime::zero()};
+};
+
+/// `chains` concurrent event chains of `hops` hops each, random gaps; the
+/// checksum folds in every execution in order, so two runs match iff they
+/// executed the identical schedule in the identical order.
+CascadeResult run_cascade(sim::Engine& eng, std::size_t chains, std::size_t hops) {
+  struct Chain {
+    sim::Engine& eng;
+    Rng rng;
+    std::uint64_t* checksum;
+    void hop(const std::shared_ptr<Chain>& self, std::uint64_t id, std::size_t left) {
+      *checksum = *checksum * 1099511628211ULL + id;
+      if (left > 0) {
+        const SimTime gap = SimTime::from_ns(static_cast<std::int64_t>(1 + rng.next_below(900)));
+        eng.schedule_after(gap, [self, id, left] { self->hop(self, id + 1, left - 1); });
+      }
+    }
+  };
+  CascadeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto chain = std::make_shared<Chain>(Chain{eng, Rng(7000 + c), &r.checksum});
+    eng.schedule_at(SimTime::from_ns(static_cast<std::int64_t>(c)),
+                    [chain, c, hops] { chain->hop(chain, c * 1000000, hops); });
+  }
+  eng.run();
+  r.wall_s = seconds_since(t0);
+  r.executed = eng.executed_events();
+  r.final_now = eng.now();
+  r.events_per_s = static_cast<double>(r.executed) / (r.wall_s > 0 ? r.wall_s : 1e-9);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: coupled domains over a full mesh
+// ---------------------------------------------------------------------------
+
+struct MeshResult {
+  double wall_s{0.0};
+  double events_per_s{0.0};
+  std::uint64_t executed{0};
+  std::uint64_t mailbox_deposits{0};
+  std::uint64_t lockstep_steps{0};
+  std::uint64_t parallel_rounds{0};
+  std::vector<std::uint64_t> domain_checksums;
+};
+
+/// One actor per domain: a local event chain whose every 8th hop also
+/// messages the next domain over the mesh (arrival = now + lookahead).
+/// Each actor's state is touched only by its own domain's events.
+MeshResult run_mesh(std::size_t threads, std::size_t domains, std::size_t hops_per_domain) {
+  const SimTime lookahead = SimTime::from_us(100.0);
+  sim::ParallelSimulator eng(sim::ParallelSimulator::Config{threads, domains});
+  for (sim::DomainId a = 0; a < domains; ++a) {
+    for (sim::DomainId b = 0; b < domains; ++b) {
+      if (a != b) eng.add_edge(a, b, lookahead);
+    }
+  }
+  struct Actor {
+    sim::ParallelSimulator& eng;
+    sim::DomainId domain;
+    std::size_t peers;
+    SimTime lookahead;
+    Rng rng;
+    std::uint64_t checksum{0};
+    std::uint64_t hops{0};
+    void hop(const std::shared_ptr<Actor>& self, std::size_t left) {
+      checksum = checksum * 1099511628211ULL +
+                 static_cast<std::uint64_t>(eng.now().ns()) + domain;
+      ++hops;
+      if (left == 0) return;
+      const SimTime gap = SimTime::from_ns(static_cast<std::int64_t>(1 + rng.next_below(2000)));
+      eng.schedule_after(gap, [self, left] { self->hop(self, left - 1); });
+      if (hops % 8 == 0 && peers > 1) {
+        // A message to the next domain: it rides that actor's checksum too.
+        const auto peer = static_cast<sim::DomainId>((domain + 1) % peers);
+        eng.schedule_in(peer, eng.now() + lookahead, [self, peer] {
+          // Executes in `peer`'s domain: only read our immutable fields.
+          (void)self;
+          (void)peer;
+        });
+      }
+    }
+  };
+  std::vector<std::shared_ptr<Actor>> actors;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (sim::DomainId d = 0; d < domains; ++d) {
+    actors.push_back(std::make_shared<Actor>(
+        Actor{eng, d, domains, lookahead, Rng(9000 + d)}));
+    auto& actor = actors.back();
+    eng.schedule_in(d, SimTime::zero(),
+                    [actor, hops_per_domain] { actor->hop(actor, hops_per_domain); });
+  }
+  eng.run();
+  MeshResult r;
+  r.wall_s = seconds_since(t0);
+  r.executed = eng.executed_events();
+  r.mailbox_deposits = eng.mailbox_deposits();
+  r.lockstep_steps = eng.lockstep_steps();
+  r.parallel_rounds = eng.parallel_rounds();
+  r.events_per_s = static_cast<double>(r.executed) / (r.wall_s > 0 ? r.wall_s : 1e-9);
+  for (const auto& a : actors) r.domain_checksums.push_back(a->checksum);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: fig10-style serving sweep (K points)
+// ---------------------------------------------------------------------------
+
+core::GroutConfig sweep_cluster() {
+  core::GroutConfig cfg;
+  cfg.cluster.workers = 2;
+  cfg.cluster.worker_node.gpu_count = 2;
+  cfg.cluster.worker_node.device.memory = 512_MiB;
+  cfg.cluster.worker_node.tuning.page_size = 2_MiB;
+  return cfg;
+}
+
+serve::ServeConfig sweep_point(std::size_t point) {
+  serve::ServeConfig sc;
+  for (std::size_t k = 0; k < 2; ++k) {
+    serve::TenantSpec t;
+    t.name = "p" + std::to_string(point) + "t" + std::to_string(k);
+    t.weight = k == 0 ? 2.0 : 1.0;
+    t.workload = workloads::WorkloadKind::BlackScholes;
+    t.params.footprint = 48_MiB;
+    t.params.partitions = 4;
+    t.params.iterations = 1;
+    t.arrival = serve::parse_arrival("closed:3");
+    t.programs = 600;
+    sc.tenants.push_back(std::move(t));
+  }
+  sc.seed = 1234 + point;
+  return sc;
+}
+
+/// Everything a point's report says, flattened for the divergence diff.
+struct PointDigest {
+  bool drained{false};
+  SimTime elapsed{SimTime::zero()};
+  std::size_t completed{0};
+  std::uint64_t ces{0};
+  double p50{0.0};
+  double p99{0.0};
+  double wait{0.0};
+
+  bool operator==(const PointDigest& o) const {
+    return drained == o.drained && elapsed == o.elapsed && completed == o.completed &&
+           ces == o.ces && p50 == o.p50 && p99 == o.p99 && wait == o.wait;
+  }
+};
+
+PointDigest digest(const serve::ServeReport& rep) {
+  PointDigest d;
+  d.drained = rep.drained;
+  d.elapsed = rep.elapsed;
+  for (const serve::TenantReport& t : rep.tenants) {
+    d.completed += t.completed;
+    d.ces += t.ces_dispatched;
+    d.p50 += t.latency_p50_ms;
+    d.p99 += t.latency_p99_ms;
+    d.wait += t.queue_wait_mean_ms;
+  }
+  return d;
+}
+
+struct SweepResult {
+  double wall_s{0.0};
+  std::vector<PointDigest> points;
+};
+
+SweepResult run_sweep_serial(std::size_t points) {
+  SweepResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < points; ++k) {
+    core::GroutRuntime rt(sweep_cluster());
+    serve::ServeScheduler sched(rt, sweep_point(k));
+    r.points.push_back(digest(sched.run()));
+  }
+  r.wall_s = seconds_since(t0);
+  return r;
+}
+
+SweepResult run_sweep_parallel(std::size_t points, std::size_t threads) {
+  SweepResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::ParallelSimulator engine(sim::ParallelSimulator::Config{threads, points});
+  std::deque<sim::DomainView> views;
+  std::deque<core::GroutRuntime> runtimes;
+  std::deque<serve::ServeScheduler> scheds;
+  for (std::size_t k = 0; k < points; ++k) {
+    views.emplace_back(engine, static_cast<sim::DomainId>(k));
+    core::GroutConfig cfg = sweep_cluster();
+    cfg.cluster.engine = &views.back();
+    runtimes.emplace_back(std::move(cfg));
+    scheds.emplace_back(runtimes.back(), sweep_point(k));
+  }
+  const SimTime horizon = sweep_point(0).horizon;
+  for (auto& s : scheds) s.start();
+  engine.run_until(horizon);
+  for (std::size_t k = 0; k < points; ++k) {
+    const bool drained = engine.domain_pending_events(static_cast<sim::DomainId>(k)) == 0;
+    r.points.push_back(digest(scheds[k].finalize(drained)));
+  }
+  r.wall_s = seconds_since(t0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_parsim.json";
+  const unsigned hc = std::thread::hardware_concurrency();
+  bool diverged = false;
+
+  // -- 1: single-domain cascade ---------------------------------------------
+  constexpr std::size_t kChains = 64;
+  constexpr std::size_t kHops = 4000;
+  std::printf("# engine bench (host has %u hardware threads)\n\n", hc);
+  std::printf("## single-domain cascade: %zu chains x %zu hops\n", kChains, kHops);
+
+  CascadeResult serial_cascade;
+  {
+    sim::Simulator eng;
+    serial_cascade = run_cascade(eng, kChains, kHops);
+  }
+  std::printf("%-22s %10.0f events/s\n", "serial", serial_cascade.events_per_s);
+  std::vector<std::pair<std::size_t, CascadeResult>> parallel_cascades;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    sim::ParallelSimulator eng(sim::ParallelSimulator::Config{threads, 1});
+    const CascadeResult r = run_cascade(eng, kChains, kHops);
+    parallel_cascades.emplace_back(threads, r);
+    const bool same = r.checksum == serial_cascade.checksum &&
+                      r.executed == serial_cascade.executed &&
+                      r.final_now == serial_cascade.final_now;
+    if (!same) diverged = true;
+    std::printf("%-19s %2zut %10.0f events/s  %s\n", "parallel", threads, r.events_per_s,
+                same ? "bit-identical" : "DIVERGED");
+  }
+
+  // -- 2: coupled full mesh --------------------------------------------------
+  constexpr std::size_t kMeshDomains = 4;
+  constexpr std::size_t kMeshHops = 50000;
+  std::printf("\n## coupled mesh: %zu domains, %zu hops each, lookahead 100 us\n",
+              kMeshDomains, kMeshHops);
+  const MeshResult mesh1 = run_mesh(1, kMeshDomains, kMeshHops);
+  const MeshResult mesh4 = run_mesh(4, kMeshDomains, kMeshHops);
+  const bool mesh_same = mesh1.domain_checksums == mesh4.domain_checksums &&
+                         mesh1.executed == mesh4.executed;
+  if (!mesh_same) diverged = true;
+  const double mesh_speedup = mesh4.wall_s > 0 ? mesh1.wall_s / mesh4.wall_s : 0.0;
+  std::printf("1 thread : %10.0f events/s (%llu deposits, %llu lockstep, %llu rounds)\n",
+              mesh1.events_per_s, static_cast<unsigned long long>(mesh1.mailbox_deposits),
+              static_cast<unsigned long long>(mesh1.lockstep_steps),
+              static_cast<unsigned long long>(mesh1.parallel_rounds));
+  std::printf("4 threads: %10.0f events/s, speedup %.2fx  %s\n", mesh4.events_per_s,
+              mesh_speedup, mesh_same ? "bit-identical" : "DIVERGED");
+
+  // -- 3: serving sweep ------------------------------------------------------
+  constexpr std::size_t kPoints = 8;
+  std::printf("\n## serving sweep: %zu independent fig10-style points\n", kPoints);
+  const SweepResult sweep_serial = run_sweep_serial(kPoints);
+  std::printf("serial   : %7.3f s wall (%zu points sequential)\n", sweep_serial.wall_s,
+              kPoints);
+  double speedup_4t = 0.0;
+  std::vector<std::pair<std::size_t, double>> sweep_walls;
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const SweepResult sp = run_sweep_parallel(kPoints, threads);
+    const bool same = sp.points == sweep_serial.points;
+    if (!same) diverged = true;
+    const double speedup = sp.wall_s > 0 ? sweep_serial.wall_s / sp.wall_s : 0.0;
+    if (threads == 4) speedup_4t = speedup;
+    sweep_walls.emplace_back(threads, sp.wall_s);
+    std::printf("%zu threads: %7.3f s wall, speedup %.2fx  %s\n", threads, sp.wall_s, speedup,
+                same ? "bit-identical" : "DIVERGED");
+  }
+
+  // -- JSON -------------------------------------------------------------------
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"bench_sim_engine\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hc);
+  std::fprintf(out, "  \"single_domain\": {\n    \"serial_events_per_s\": %.0f,\n",
+               serial_cascade.events_per_s);
+  for (std::size_t i = 0; i < parallel_cascades.size(); ++i) {
+    std::fprintf(out, "    \"parallel_%zut_events_per_s\": %.0f%s\n",
+                 parallel_cascades[i].first, parallel_cascades[i].second.events_per_s,
+                 i + 1 < parallel_cascades.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n  \"coupled_mesh\": {\n");
+  std::fprintf(out, "    \"domains\": %zu,\n    \"events\": %llu,\n", kMeshDomains,
+               static_cast<unsigned long long>(mesh1.executed));
+  std::fprintf(out, "    \"mailbox_deposits\": %llu,\n",
+               static_cast<unsigned long long>(mesh1.mailbox_deposits));
+  std::fprintf(out, "    \"events_per_s_1t\": %.0f,\n    \"events_per_s_4t\": %.0f,\n",
+               mesh1.events_per_s, mesh4.events_per_s);
+  std::fprintf(out, "    \"speedup_4t\": %.3f\n  },\n", mesh_speedup);
+  std::fprintf(out, "  \"serving_sweep\": {\n    \"points\": %zu,\n", kPoints);
+  std::fprintf(out, "    \"serial_wall_s\": %.4f,\n", sweep_serial.wall_s);
+  for (const auto& [threads, wall] : sweep_walls) {
+    std::fprintf(out, "    \"parallel_%zut_wall_s\": %.4f,\n", threads, wall);
+  }
+  std::fprintf(out, "    \"speedup_4t\": %.3f\n  },\n", speedup_4t);
+  std::fprintf(out, "  \"bit_identical\": %s\n}\n", diverged ? "false" : "true");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+
+  if (diverged) {
+    std::fprintf(stderr, "FAIL: serial and parallel executions diverged\n");
+    return 2;
+  }
+  if (hc >= 4 && speedup_4t < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: serving-sweep speedup %.2fx at 4 threads is below the 1.5x bar "
+                 "(host has %u hardware threads)\n",
+                 speedup_4t, hc);
+    return 3;
+  }
+  if (hc < 4) {
+    std::printf("note: host has %u hardware threads; the 1.5x speedup bar applies only on "
+                ">=4-thread hosts (determinism was still verified)\n", hc);
+  }
+  return 0;
+}

@@ -13,7 +13,32 @@ const char* to_string(WorkerState s) {
 
 Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
   GROUT_REQUIRE(config_.workers >= 1, "a cluster needs at least one worker");
+  GROUT_REQUIRE(config_.sim_threads >= 1, "sim_threads must be >= 1");
   tracer_.set_enabled(config_.trace);
+
+  if (config_.engine != nullptr) {
+    sim_ = config_.engine;
+  } else if (config_.sim_threads == 1) {
+    owned_sim_ = std::make_unique<sim::Simulator>();
+    sim_ = owned_sim_.get();
+  } else {
+    // One domain per worker plus the controller/fabric domain; lookahead
+    // on each link is the minimum one-way fabric latency for that pair
+    // (NIC + NIC), the bound nothing crossing the fabric can beat.
+    auto par = std::make_unique<sim::ParallelSimulator>(
+        sim::ParallelSimulator::Config{config_.sim_threads, 1 + config_.workers});
+    parallel_ = par.get();
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+      parallel_->add_link(controller_domain(), worker_domain(i),
+                          config_.controller_nic.latency + config_.worker_nic.latency);
+      for (std::size_t j = 0; j < i; ++j) {
+        parallel_->add_link(worker_domain(i), worker_domain(j),
+                            config_.worker_nic.latency + config_.worker_nic.latency);
+      }
+    }
+    owned_sim_ = std::move(par);
+    sim_ = owned_sim_.get();
+  }
 
   std::vector<net::NicSpec> nics;
   nics.reserve(config_.workers + 1);
@@ -23,7 +48,7 @@ Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
     nic.name = config_.worker_nic.name + std::to_string(i);
     nics.push_back(std::move(nic));
   }
-  fabric_ = std::make_unique<net::NetworkFabric>(sim_, std::move(nics), &tracer_);
+  fabric_ = std::make_unique<net::NetworkFabric>(*sim_, std::move(nics), &tracer_);
 
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -35,7 +60,7 @@ void Cluster::append_worker(std::size_t i, const WorkerSpec& spec) {
   gpusim::GpuNodeConfig node_cfg = spec.node.value_or(config_.worker_node);
   node_cfg.name = "node" + std::to_string(i);
   node_cfg.seed = node_cfg.seed + i * 0x9e37ULL;
-  workers_.push_back(std::make_unique<Worker>(sim_, std::move(node_cfg), worker_fabric_id(i),
+  workers_.push_back(std::make_unique<Worker>(*sim_, std::move(node_cfg), worker_fabric_id(i),
                                               config_.stream_policy, config_.streams_per_gpu,
                                               config_.trace ? &tracer_ : nullptr));
   states_.push_back(WorkerState::Active);
@@ -48,6 +73,17 @@ std::size_t Cluster::add_worker(const WorkerSpec& spec) {
   const net::NodeId fid = fabric_->add_node(std::move(nic));
   GROUT_CHECK(fid == worker_fabric_id(i),
               "fabric id / worker index skew on hot-join (topology law violated)");
+  if (parallel_ != nullptr) {
+    // Keep the engine's domain topology in step with the fabric: the
+    // joiner gets its own domain and lookahead links to everyone.
+    const sim::DomainId d = parallel_->add_domain();
+    GROUT_CHECK(d == worker_domain(i), "engine domain / worker index skew on hot-join");
+    const SimTime nic_lat = spec.nic.value_or(config_.worker_nic).latency;
+    parallel_->add_link(controller_domain(), d, config_.controller_nic.latency + nic_lat);
+    for (std::size_t j = 0; j < i; ++j) {
+      parallel_->add_link(d, worker_domain(j), nic_lat + config_.worker_nic.latency);
+    }
+  }
   append_worker(i, spec);
   return i;
 }

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "cluster/worker.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace grout::cluster {
@@ -31,6 +33,17 @@ struct ClusterConfig {
   runtime::StreamPolicyKind stream_policy{runtime::StreamPolicyKind::LeastLoaded};
   std::size_t streams_per_gpu{2};
   bool trace{false};
+  /// Event-engine selection (--sim-threads): 1 = the serial engine, the
+  /// default every run had before the engine split; > 1 = a
+  /// ParallelSimulator with that many pool threads, one domain per worker
+  /// plus the controller/fabric domain, inter-domain lookahead derived
+  /// from the NIC latencies. Must be >= 1.
+  std::size_t sim_threads{1};
+  /// Borrow an externally owned engine instead of building one (e.g. a
+  /// sim::DomainView placing this cluster into one domain of a shared
+  /// parallel engine). Non-owning — must outlive the cluster; overrides
+  /// sim_threads.
+  sim::Engine* engine{nullptr};
 };
 
 /// Hardware description of a hot-joined worker; unset fields fall back to
@@ -58,9 +71,18 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Engine& simulator() { return *sim_; }
   [[nodiscard]] net::NetworkFabric& fabric() { return *fabric_; }
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
+
+  /// Engine domain the controller (and today all model events) lives in.
+  [[nodiscard]] static constexpr sim::DomainId controller_domain() { return sim::kMainDomain; }
+  /// Engine domain declared for worker `i` under a parallel engine (the
+  /// migration target for per-worker event confinement; the topology and
+  /// lookahead edges are declared now, ahead of that move).
+  [[nodiscard]] static constexpr sim::DomainId worker_domain(std::size_t i) {
+    return static_cast<sim::DomainId>(1 + i);
+  }
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
   [[nodiscard]] Worker& worker(std::size_t i);
@@ -100,7 +122,10 @@ class Cluster {
   void append_worker(std::size_t i, const WorkerSpec& spec);
 
   ClusterConfig config_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::Engine> owned_sim_;
+  sim::Engine* sim_{nullptr};
+  /// Set when owned_sim_ is a ParallelSimulator: hot-joins add domains.
+  sim::ParallelSimulator* parallel_{nullptr};
   sim::Tracer tracer_;
   std::unique_ptr<net::NetworkFabric> fabric_;
   std::vector<std::unique_ptr<Worker>> workers_;

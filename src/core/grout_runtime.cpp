@@ -65,7 +65,7 @@ GroutRuntime::GroutRuntime(GroutConfig config)
     injector_->arm([this](std::size_t w) { handle_worker_death(w); });
   }
   if (!config_.elastic_plan.empty()) {
-    sim::Simulator& sim = cluster_->simulator();
+    sim::Engine& sim = cluster_->simulator();
     for (const cluster::DrainEvent& d : config_.elastic_plan.drains) {
       GROUT_REQUIRE(d.worker < max_workers, "elastic plan drains an unknown worker");
     }
@@ -595,15 +595,10 @@ bool GroutRuntime::wait_controller_copy(GlobalArrayId array) {
   // The controller may hold `array` only by virtue of an in-flight spill;
   // the data is not readable until that transfer lands. Drive the event
   // loop, but never past the run cap.
-  sim::Simulator& sim = cluster_->simulator();
   const gpusim::EventPtr pending = governor_->acquire_controller_copy(array);
-  while (pending != nullptr && !pending->completed()) {
-    GROUT_CHECK(sim.pending_events() > 0,
-                "deadlock while waiting for a spill to reach the controller");
-    if (sim.next_event_time() > config_.run_cap) return false;
-    sim.step();
-  }
-  return true;
+  return cluster_->simulator().run_until_done(
+      config_.run_cap, [&] { return pending == nullptr || pending->completed(); },
+      "deadlock while waiting for a spill to reach the controller");
 }
 
 bool GroutRuntime::host_fetch(GlobalArrayId array) {
@@ -653,12 +648,10 @@ bool GroutRuntime::host_fetch(GlobalArrayId array) {
 
   // Drive the event loop, but never past the run cap: an unbounded wait
   // here could spin a stalled run forever instead of reporting out-of-time.
-  sim::Simulator& sim = cluster_->simulator();
-  while (!landed->completed()) {
-    GROUT_CHECK(sim.pending_events() > 0,
-                "deadlock while fetching an array to the controller");
-    if (sim.next_event_time() > config_.run_cap) return false;
-    sim.step();
+  if (!cluster_->simulator().run_until_done(
+          config_.run_cap, [&] { return landed->completed(); },
+          "deadlock while fetching an array to the controller")) {
+    return false;
   }
   directory_.add_controller_copy(array);
   // The gather materialized a real controller copy; any stale spill-store

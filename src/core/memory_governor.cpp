@@ -382,7 +382,7 @@ gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayI
   sim::Tracer& tracer = cluster_.tracer();
   if (tracer.enabled()) {
     sim::Tracer* tp = &tracer;
-    sim::Simulator* simp = &cluster_.simulator();
+    sim::Engine* simp = &cluster_.simulator();
     const SimTime begin = simp->now();
     const std::string name = "spill:" + directory_.name_of(id) + "(a" + std::to_string(id) +
                              "," + std::to_string(bytes) + "B)";

@@ -1,5 +1,8 @@
 #include "driver/driver.hpp"
 
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+
 namespace grout::driver {
 
 const char* to_string(GrResult r) {
@@ -12,8 +15,17 @@ const char* to_string(GrResult r) {
   return "?";
 }
 
-Context::Context(gpusim::GpuNodeConfig config)
-    : sim_{std::make_unique<sim::Simulator>()},
+namespace {
+std::unique_ptr<sim::Engine> make_engine(std::size_t sim_threads) {
+  GROUT_REQUIRE(sim_threads >= 1, "sim_threads must be >= 1");
+  if (sim_threads == 1) return std::make_unique<sim::Simulator>();
+  return std::make_unique<sim::ParallelSimulator>(
+      sim::ParallelSimulator::Config{sim_threads, 1});
+}
+}  // namespace
+
+Context::Context(gpusim::GpuNodeConfig config, std::size_t sim_threads)
+    : sim_{make_engine(sim_threads)},
       node_{std::make_unique<gpusim::GpuNode>(*sim_, std::move(config), &tracer_)} {}
 
 // ---------------------------------------------------------------------------

@@ -37,7 +37,11 @@ using GrEvent = std::uint64_t;
 /// One driver context == one node (host + GPUs + UVM space + simulator).
 class Context {
  public:
-  explicit Context(gpusim::GpuNodeConfig config = {});
+  /// `sim_threads` selects the event engine (--sim-threads): 1 = the
+  /// serial engine; > 1 = a ParallelSimulator with that many pool threads
+  /// (a single-node context is one event domain, so execution order — and
+  /// every result — is bit-identical either way). Must be >= 1.
+  explicit Context(gpusim::GpuNodeConfig config = {}, std::size_t sim_threads = 1);
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -101,7 +105,7 @@ class Context {
   [[nodiscard]] uvm::ArrayId array_of(GrDeviceptr ptr) const;
 
   [[nodiscard]] SimTime now() const { return sim_->now(); }
-  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] sim::Engine& simulator() { return *sim_; }
   [[nodiscard]] gpusim::GpuNode& node() { return *node_; }
   [[nodiscard]] sim::Tracer& tracer() { return tracer_; }
 
@@ -115,7 +119,7 @@ class Context {
   [[nodiscard]] bool valid_stream(GrStream s) const;
   [[nodiscard]] bool valid_event(GrEvent e) const;
 
-  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Engine> sim_;
   sim::Tracer tracer_;
   std::unique_ptr<gpusim::GpuNode> node_;
   std::vector<StreamInfo> streams_;

@@ -4,7 +4,7 @@
 
 namespace grout::net {
 
-NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::vector<NicSpec> nics,
+NetworkFabric::NetworkFabric(sim::Engine& simulator, std::vector<NicSpec> nics,
                              sim::Tracer* tracer)
     : sim_{simulator}, tracer_{tracer} {
   GROUT_REQUIRE(nics.size() >= 2, "a fabric needs at least two nodes");
@@ -70,6 +70,24 @@ void NetworkFabric::rebuild_matrix() const {
 
 SimTime NetworkFabric::latency(NodeId from, NodeId to) const {
   return node_ref(from).nic.latency + node_ref(to).nic.latency;
+}
+
+SimTime NetworkFabric::min_link_latency() const {
+  // latency(a, b) = nic_a + nic_b, so the minimum over pairs is the sum of
+  // the two smallest NIC latencies.
+  SimTime lo1 = SimTime::max();
+  SimTime lo2 = SimTime::max();
+  for (const Node& node : nodes_) {
+    const SimTime l = node.nic.latency;
+    if (l < lo1) {
+      lo2 = lo1;
+      lo1 = l;
+    } else if (l < lo2) {
+      lo2 = l;
+    }
+  }
+  GROUT_REQUIRE(nodes_.size() >= 2, "min_link_latency needs at least two fabric nodes");
+  return lo1 + lo2;
 }
 
 void NetworkFabric::set_link_override(NodeId a, NodeId b, Bandwidth bw) {

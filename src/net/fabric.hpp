@@ -24,7 +24,7 @@
 #include "gpusim/event.hpp"
 #include "net/topology.hpp"
 #include "sim/resource.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
 namespace grout::net {
@@ -45,7 +45,7 @@ struct NicSpec {
 
 class NetworkFabric {
  public:
-  NetworkFabric(sim::Simulator& simulator, std::vector<NicSpec> nics,
+  NetworkFabric(sim::Engine& simulator, std::vector<NicSpec> nics,
                 sim::Tracer* tracer = nullptr);
 
   NetworkFabric(const NetworkFabric&) = delete;
@@ -77,6 +77,11 @@ class NetworkFabric {
 
   /// One-way latency between two nodes.
   [[nodiscard]] SimTime latency(NodeId from, NodeId to) const;
+
+  /// Smallest one-way latency between any two distinct nodes: the
+  /// conservative lookahead a parallel engine may assume for events that
+  /// cross the fabric (nothing travels between nodes faster than this).
+  [[nodiscard]] SimTime min_link_latency() const;
 
   /// Install a per-pair bandwidth override (both directions). Zero is
   /// allowed and means the link is down until a later override restores it.
@@ -137,7 +142,7 @@ class NetworkFabric {
   const Node& node_ref(NodeId id) const;
   Node& node_ref(NodeId id);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   sim::Tracer* tracer_;
   std::vector<Node> nodes_;
   std::map<std::pair<NodeId, NodeId>, Bandwidth> overrides_;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/simulator.hpp"
 #include "cluster/cluster.hpp"
 #include "core/grout_runtime.hpp"
 #include "gpusim/kernel.hpp"

@@ -98,7 +98,7 @@ ServeScheduler::ServeScheduler(core::GroutRuntime& runtime, ServeConfig config)
   }
 }
 
-sim::Simulator& ServeScheduler::simulator() { return runtime_.cluster().simulator(); }
+sim::Engine& ServeScheduler::simulator() { return runtime_.cluster().simulator(); }
 
 Bytes ServeScheduler::cluster_budget() const {
   const core::MemoryGovernor& governor = runtime_.governor();
@@ -325,6 +325,12 @@ void ServeScheduler::finish_program(Program* p) {
 }
 
 ServeReport ServeScheduler::run() {
+  start();
+  const bool queue_drained = simulator().run_until(config_.horizon);
+  return finalize(queue_drained);
+}
+
+void ServeScheduler::start() {
   max_outstanding_ = config_.max_outstanding_ces != 0
                          ? config_.max_outstanding_ces
                          : 4 * runtime_.cluster().worker_count();
@@ -338,8 +344,9 @@ ServeReport ServeScheduler::run() {
       schedule_next_arrival(k);
     }
   }
-  const bool queue_drained = simulator().run_until(config_.horizon);
+}
 
+ServeReport ServeScheduler::finalize(bool queue_drained) {
   ServeReport report;
   report.elapsed = simulator().now();
   std::size_t still_waiting = 0;

@@ -131,8 +131,18 @@ class ServeScheduler {
 
   /// Drive the whole serving run: generate arrivals, admit, dispatch via
   /// WFQ, and collect per-tenant SLOs. Blocks (advances virtual time) until
-  /// every submitted program completed or the horizon expired.
+  /// every submitted program completed or the horizon expired. Equivalent
+  /// to start(); simulator().run_until(horizon); finalize().
   ServeReport run();
+
+  /// Seed the arrival processes without driving the engine: the caller
+  /// owns the drive (e.g. several schedulers on domains of one shared
+  /// parallel engine, advanced together with a single engine-wide run).
+  void start();
+
+  /// Collect the per-tenant SLO report after the caller's drive finished.
+  /// `queue_drained` is what that drive's run_until(horizon) returned.
+  ServeReport finalize(bool queue_drained);
 
  private:
   /// One submitted program instance: a shape stamped out into runtime
@@ -177,7 +187,7 @@ class ServeScheduler {
     Rng arrivals{0};
   };
 
-  [[nodiscard]] sim::Simulator& simulator();
+  [[nodiscard]] sim::Engine& simulator();
   /// Aggregate replica budget over live workers (0 = unbounded governor).
   [[nodiscard]] Bytes cluster_budget() const;
 

@@ -1,0 +1,74 @@
+// Single-domain Engine view over a ParallelSimulator.
+//
+// A DomainView presents one domain of a ParallelSimulator as a complete
+// Engine, so model code written against sim::Engine (a Cluster, a driver
+// Context) can live inside that domain without knowing about the others.
+// This is how independent simulations — e.g. the points of a serving
+// sweep — share one parallel engine: build one isolated domain per point,
+// hand each point's model a DomainView, then drive the underlying engine
+// once; the points execute concurrently with zero barriers (no edges, so
+// every horizon is infinite).
+//
+// The view's own drive methods (step/run/run_until) execute only its
+// domain, which is why they demand an *isolated* domain (no declared
+// edges): driving one domain of a coupled topology independently could
+// run past what its neighbors might still send. Coupled topologies are
+// driven whole, through the underlying engine.
+#pragma once
+
+#include <utility>
+
+#include "sim/parallel_sim.hpp"
+
+namespace grout::sim {
+
+class DomainView final : public Engine {
+ public:
+  DomainView(ParallelSimulator& engine, DomainId domain)
+      : engine_{engine}, domain_{domain} {
+    GROUT_REQUIRE(domain < engine.domain_count(), "domain id out of range");
+  }
+
+  [[nodiscard]] ParallelSimulator& engine() { return engine_; }
+  [[nodiscard]] DomainId domain() const { return domain_; }
+
+  [[nodiscard]] SimTime now() const override {
+    // During execution the domain clock is maintained by the executing
+    // thread (this one); between drives the coordinator reads it.
+    return engine_.domain_now(domain_);
+  }
+
+  void schedule_at(SimTime t, Callback fn) override {
+    engine_.schedule_in(domain_, t, std::move(fn));
+  }
+
+  void schedule_in(DomainId domain, SimTime t, Callback fn) override {
+    GROUT_REQUIRE(domain == domain_, "a DomainView spans a single domain");
+    engine_.schedule_in(domain_, t, std::move(fn));
+  }
+
+  bool step() override { return engine_.step_domain(domain_); }
+  void run() override { engine_.run_domain(domain_); }
+  bool run_until(SimTime deadline) override {
+    return engine_.run_domain_until(domain_, deadline);
+  }
+
+  [[nodiscard]] std::size_t pending_events() const override {
+    return engine_.domain_pending_events(domain_);
+  }
+  [[nodiscard]] std::uint64_t executed_events() const override {
+    return engine_.domain_executed_events(domain_);
+  }
+  [[nodiscard]] SimTime next_event_time() const override {
+    return engine_.domain_next_event_time(domain_);
+  }
+  [[nodiscard]] DomainId current_domain() const override { return domain_; }
+  [[nodiscard]] std::size_t domain_count() const override { return 1; }
+  [[nodiscard]] std::size_t threads() const override { return 1; }
+
+ private:
+  ParallelSimulator& engine_;
+  DomainId domain_;
+};
+
+}  // namespace grout::sim

@@ -1,0 +1,428 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace grout::sim {
+
+namespace {
+
+/// Thread-local execution context: lets now()/current_domain()/schedule_at
+/// resolve against the event being executed on this thread, whichever
+/// thread the round landed on.
+struct ExecContext {
+  const ParallelSimulator* engine;
+  DomainId domain;
+  SimTime time;
+};
+thread_local ExecContext* tls_ctx = nullptr;
+
+/// Context guard: installs/uninstalls the thread-local pointer.
+struct ScopedContext {
+  explicit ScopedContext(ExecContext* ctx) { tls_ctx = ctx; }
+  ~ScopedContext() { tls_ctx = nullptr; }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+};
+
+SimTime sat_add(SimTime a, SimTime b) {
+  if (a == SimTime::max() || b == SimTime::max()) return SimTime::max();
+  const SimTime s = a + b;
+  return s < a ? SimTime::max() : s;
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(Config config)
+    : pool_{(GROUT_REQUIRE(config.threads >= 1, "a parallel engine needs at least one thread"),
+             config.threads)} {
+  GROUT_REQUIRE(config.domains >= 1, "a parallel engine needs at least one domain");
+  domains_.reserve(config.domains);
+  for (std::size_t d = 0; d < config.domains; ++d) domains_.push_back(std::make_unique<Domain>());
+  const std::size_t n = config.domains;
+  edges_.assign(n * n, SimTime::max());
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+bool ParallelSimulator::in_execution() const {
+  return tls_ctx != nullptr && tls_ctx->engine == this;
+}
+
+DomainId ParallelSimulator::add_domain() {
+  GROUT_CHECK(!running_parallel_,
+              "domains may only be added while no other domain is executing");
+  const std::size_t old_n = domains_.size();
+  const std::size_t n = old_n + 1;
+  domains_.push_back(std::make_unique<Domain>());
+  // Re-lay the dense edge matrix for the larger stride.
+  std::vector<SimTime> edges(n * n, SimTime::max());
+  for (std::size_t i = 0; i < old_n; ++i) {
+    for (std::size_t j = 0; j < old_n; ++j) edges[i * n + j] = edges_[i * old_n + j];
+  }
+  edges_ = std::move(edges);
+  dist_dirty_ = true;
+  return static_cast<DomainId>(old_n);
+}
+
+void ParallelSimulator::add_edge(DomainId from, DomainId to, SimTime min_delay) {
+  GROUT_REQUIRE(from < domains_.size() && to < domains_.size(), "domain id out of range");
+  GROUT_REQUIRE(from != to, "a domain needs no edge to itself");
+  GROUT_REQUIRE(min_delay >= SimTime::zero(), "link lookahead must be non-negative");
+  GROUT_CHECK(!running_parallel_,
+              "edges may only be added while no other domain is executing");
+  SimTime& slot = edges_[from * domains_.size() + to];
+  if (slot == SimTime::max()) {
+    ++domains_[from]->edges_out;
+    ++domains_[to]->edges_in;
+  }
+  slot = std::min(slot, min_delay);
+  dist_dirty_ = true;
+}
+
+void ParallelSimulator::add_link(DomainId a, DomainId b, SimTime min_delay) {
+  add_edge(a, b, min_delay);
+  add_edge(b, a, min_delay);
+}
+
+void ParallelSimulator::refresh_dist() {
+  if (!dist_dirty_) return;
+  const std::size_t n = domains_.size();
+  dist_ = edges_;
+  for (std::size_t d = 0; d < n; ++d) dist_[d * n + d] = SimTime::zero();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime ik = dist_[i * n + k];
+      if (ik == SimTime::max()) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const SimTime through = sat_add(ik, dist_[k * n + j]);
+        if (through < dist_[i * n + j]) dist_[i * n + j] = through;
+      }
+    }
+  }
+  dist_dirty_ = false;
+}
+
+SimTime ParallelSimulator::edge_delay(DomainId from, DomainId to) const {
+  return edges_[from * domains_.size() + to];
+}
+
+SimTime ParallelSimulator::min_path_delay(DomainId from, DomainId to) {
+  GROUT_REQUIRE(from < domains_.size() && to < domains_.size(), "domain id out of range");
+  refresh_dist();
+  return dist_[from * domains_.size() + to];
+}
+
+SimTime ParallelSimulator::horizon_from_tops(DomainId d,
+                                             const std::vector<SimTime>& tops) const {
+  const std::size_t n = domains_.size();
+  SimTime horizon = SimTime::max();
+  for (std::size_t o = 0; o < n; ++o) {
+    if (o == d || tops[o] == SimTime::max()) continue;
+    horizon = std::min(horizon, sat_add(tops[o], dist_[o * n + d]));
+  }
+  return horizon;
+}
+
+SimTime ParallelSimulator::horizon_of(DomainId d) {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  refresh_dist();
+  std::vector<SimTime> tops(domains_.size(), SimTime::max());
+  for (std::size_t o = 0; o < domains_.size(); ++o) {
+    tops[o] = domain_next_event_time(static_cast<DomainId>(o));
+  }
+  return horizon_from_tops(d, tops);
+}
+
+void ParallelSimulator::push_event(Domain& dom, Event ev) {
+  dom.heap.push_back(std::move(ev));
+  std::push_heap(dom.heap.begin(), dom.heap.end(), LaterKey{});
+}
+
+ParallelSimulator::Event ParallelSimulator::pop_event(Domain& dom) {
+  std::pop_heap(dom.heap.begin(), dom.heap.end(), LaterKey{});
+  Event ev = std::move(dom.heap.back());
+  dom.heap.pop_back();
+  return ev;
+}
+
+void ParallelSimulator::drain_inboxes() {
+  for (auto& domp : domains_) {
+    Domain& dom = *domp;
+    std::vector<Event> arrived;
+    {
+      const std::scoped_lock lock(dom.inbox_mu);
+      arrived.swap(dom.inbox);
+    }
+    for (Event& ev : arrived) push_event(dom, std::move(ev));
+  }
+}
+
+void ParallelSimulator::schedule_in(DomainId domain, SimTime t, Callback fn) {
+  GROUT_REQUIRE(domain < domains_.size(), "domain id out of range");
+  GROUT_REQUIRE(static_cast<bool>(fn), "null event callback");
+  if (in_execution()) {
+    const DomainId origin = tls_ctx->domain;
+    const SimTime sender_now = tls_ctx->time;
+    GROUT_REQUIRE(t >= sender_now, "cannot schedule an event in the past");
+    Domain& src = *domains_[origin];
+    Event ev{t, origin, src.next_seq++, std::move(fn)};
+    if (domain == origin) {
+      push_event(src, std::move(ev));
+      return;
+    }
+    // Cross-domain: a mailbox deposit over a declared edge, no earlier
+    // than the link lookahead allows.
+    const SimTime delay = edge_delay(origin, domain);
+    GROUT_REQUIRE(delay != SimTime::max(),
+                  "cross-domain event without a declared edge between the domains");
+    GROUT_REQUIRE(t >= sat_add(sender_now, delay),
+                  "cross-domain event violates the link lookahead");
+    Domain& dst = *domains_[domain];
+    {
+      const std::scoped_lock lock(dst.inbox_mu);
+      dst.inbox.push_back(std::move(ev));
+    }
+    ++src.deposits;
+    // A reply chain could reach back to `origin` as early as t + the
+    // shortest return path; never execute past that in this round.
+    const SimTime back = dist_[domain * domains_.size() + origin];
+    if (back != SimTime::max()) src.bound = std::min(src.bound, sat_add(t, back));
+    return;
+  }
+  // Outside execution: coordinator-side setup. The event is self-originated
+  // in its target domain, so per-domain seq allocation matches the serial
+  // engine's submission order exactly when everything targets domain 0.
+  GROUT_CHECK(!running_parallel_, "setup-time scheduling while a round is in flight");
+  Domain& dst = *domains_[domain];
+  GROUT_REQUIRE(t >= dst.clock, "cannot schedule an event in the past");
+  push_event(dst, Event{t, domain, dst.next_seq++, std::move(fn)});
+}
+
+void ParallelSimulator::schedule_at(SimTime t, Callback fn) {
+  schedule_in(in_execution() ? tls_ctx->domain : kMainDomain, t, std::move(fn));
+}
+
+SimTime ParallelSimulator::now() const {
+  if (in_execution()) return tls_ctx->time;
+  SimTime committed = SimTime::zero();
+  for (const auto& dom : domains_) committed = std::max(committed, dom->clock);
+  return committed;
+}
+
+DomainId ParallelSimulator::current_domain() const {
+  return in_execution() ? tls_ctx->domain : kMainDomain;
+}
+
+std::size_t ParallelSimulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& dom : domains_) {
+    total += dom->heap.size();
+    const std::scoped_lock lock(dom->inbox_mu);
+    total += dom->inbox.size();
+  }
+  return total;
+}
+
+std::uint64_t ParallelSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_) total += dom->executed;
+  return total;
+}
+
+std::uint64_t ParallelSimulator::mailbox_deposits() const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_) total += dom->deposits;
+  return total;
+}
+
+SimTime ParallelSimulator::next_event_time() const {
+  SimTime next = SimTime::max();
+  for (const auto& dom : domains_) {
+    if (!dom->heap.empty()) next = std::min(next, dom->heap.front().time);
+    const std::scoped_lock lock(dom->inbox_mu);
+    for (const Event& ev : dom->inbox) next = std::min(next, ev.time);
+  }
+  return next;
+}
+
+void ParallelSimulator::exec_domain(DomainId d, SimTime deadline) {
+  Domain& dom = *domains_[d];
+  ExecContext ctx{this, d, dom.clock};
+  const ScopedContext scoped{&ctx};
+  while (!dom.heap.empty()) {
+    const SimTime next = dom.heap.front().time;
+    if (next > deadline || next >= dom.bound) break;
+    Event ev = pop_event(dom);
+    GROUT_CHECK(ev.time >= dom.clock, "event queue time went backwards");
+    dom.clock = ev.time;
+    ctx.time = ev.time;
+    ++dom.executed;
+    ev.fn();
+  }
+}
+
+void ParallelSimulator::lockstep_one() {
+  // Globally earliest event by the canonical (time, origin, seq) key.
+  const Domain* best = nullptr;
+  DomainId best_d = 0;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    const Domain& dom = *domains_[d];
+    if (dom.heap.empty()) continue;
+    if (best == nullptr || LaterKey{}(best->heap.front(), dom.heap.front())) {
+      best = &dom;
+      best_d = static_cast<DomainId>(d);
+    }
+  }
+  GROUT_CHECK(best != nullptr, "lockstep fallback with no pending events");
+  Domain& dom = *domains_[best_d];
+  ExecContext ctx{this, best_d, dom.clock};
+  const ScopedContext scoped{&ctx};
+  Event ev = pop_event(dom);
+  GROUT_CHECK(ev.time >= dom.clock, "event queue time went backwards");
+  dom.clock = ev.time;
+  ctx.time = ev.time;
+  ++dom.executed;
+  ev.fn();
+}
+
+bool ParallelSimulator::drive(SimTime deadline) {
+  GROUT_CHECK(!in_execution(), "engine drive re-entered from inside an event");
+  std::vector<SimTime> tops;
+  std::vector<DomainId> eligible;
+  std::vector<std::future<void>> futures;
+  while (true) {
+    refresh_dist();
+    drain_inboxes();
+    const std::size_t n = domains_.size();
+    tops.assign(n, SimTime::max());
+    SimTime global_min = SimTime::max();
+    for (std::size_t d = 0; d < n; ++d) {
+      if (!domains_[d]->heap.empty()) tops[d] = domains_[d]->heap.front().time;
+      global_min = std::min(global_min, tops[d]);
+    }
+    if (global_min == SimTime::max()) return true;
+    if (global_min > deadline) return false;
+    eligible.clear();
+    for (std::size_t d = 0; d < n; ++d) {
+      if (tops[d] == SimTime::max() || tops[d] > deadline) continue;
+      const SimTime horizon = horizon_from_tops(static_cast<DomainId>(d), tops);
+      if (tops[d] < horizon) {
+        domains_[d]->bound = horizon;
+        eligible.push_back(static_cast<DomainId>(d));
+      }
+    }
+    if (eligible.empty()) {
+      // No safe window (zero-lookahead coupling at the front): execute the
+      // single globally earliest event, serial but always correct.
+      lockstep_one();
+      ++lockstep_steps_;
+      continue;
+    }
+    if (eligible.size() == 1) {
+      // One busy domain (e.g. a fully single-domain model): execute inline,
+      // no pool round-trip, no barrier cost.
+      exec_domain(eligible.front(), deadline);
+      continue;
+    }
+    running_parallel_ = true;
+    futures.clear();
+    futures.reserve(eligible.size());
+    for (const DomainId d : eligible) {
+      futures.push_back(pool_.submit([this, d, deadline] { exec_domain(d, deadline); }));
+    }
+    for (auto& f : futures) f.wait();
+    running_parallel_ = false;
+    ++parallel_rounds_;
+    // Rethrow in domain order so a multi-failure round reports
+    // deterministically.
+    for (auto& f : futures) f.get();
+  }
+}
+
+bool ParallelSimulator::step() {
+  GROUT_CHECK(!in_execution(), "step() called from inside an event");
+  drain_inboxes();
+  bool any = false;
+  for (const auto& dom : domains_) any = any || !dom->heap.empty();
+  if (!any) return false;
+  lockstep_one();
+  return true;
+}
+
+void ParallelSimulator::run() { drive(SimTime::max()); }
+
+bool ParallelSimulator::run_until(SimTime deadline) { return drive(deadline); }
+
+// -- domain-scoped drive ------------------------------------------------------
+
+SimTime ParallelSimulator::domain_now(DomainId d) const {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  return domains_[d]->clock;
+}
+
+bool ParallelSimulator::domain_isolated(DomainId d) const {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  return domains_[d]->edges_in == 0 && domains_[d]->edges_out == 0;
+}
+
+SimTime ParallelSimulator::domain_next_event_time(DomainId d) const {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  const Domain& dom = *domains_[d];
+  SimTime next = dom.heap.empty() ? SimTime::max() : dom.heap.front().time;
+  const std::scoped_lock lock(dom.inbox_mu);
+  for (const Event& ev : dom.inbox) next = std::min(next, ev.time);
+  return next;
+}
+
+std::size_t ParallelSimulator::domain_pending_events(DomainId d) const {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  const Domain& dom = *domains_[d];
+  const std::scoped_lock lock(dom.inbox_mu);
+  return dom.heap.size() + dom.inbox.size();
+}
+
+std::uint64_t ParallelSimulator::domain_executed_events(DomainId d) const {
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  return domains_[d]->executed;
+}
+
+bool ParallelSimulator::step_domain(DomainId d) {
+  GROUT_CHECK(!in_execution(), "step_domain() called from inside an event");
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  GROUT_REQUIRE(domain_isolated(d), "domain-scoped drive requires an isolated domain");
+  Domain& dom = *domains_[d];
+  {
+    const std::scoped_lock lock(dom.inbox_mu);
+    for (Event& ev : dom.inbox) push_event(dom, std::move(ev));
+    dom.inbox.clear();
+  }
+  if (dom.heap.empty()) return false;
+  ExecContext ctx{this, d, dom.clock};
+  const ScopedContext scoped{&ctx};
+  Event ev = pop_event(dom);
+  GROUT_CHECK(ev.time >= dom.clock, "event queue time went backwards");
+  dom.clock = ev.time;
+  ctx.time = ev.time;
+  ++dom.executed;
+  ev.fn();
+  return true;
+}
+
+bool ParallelSimulator::run_domain_until(DomainId d, SimTime deadline) {
+  GROUT_CHECK(!in_execution(), "run_domain_until() called from inside an event");
+  GROUT_REQUIRE(d < domains_.size(), "domain id out of range");
+  GROUT_REQUIRE(domain_isolated(d), "domain-scoped drive requires an isolated domain");
+  Domain& dom = *domains_[d];
+  dom.bound = SimTime::max();
+  while (!dom.heap.empty()) {
+    if (dom.heap.front().time > deadline) return false;
+    exec_domain(d, deadline);
+  }
+  return true;
+}
+
+void ParallelSimulator::run_domain(DomainId d) { run_domain_until(d, SimTime::max()); }
+
+}  // namespace grout::sim

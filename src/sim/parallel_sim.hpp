@@ -1,0 +1,182 @@
+// Conservative parallel discrete-event engine.
+//
+// The event population is partitioned into *domains* (per-worker state,
+// the controller/fabric, or one independent sweep point each). Every
+// domain owns a heap, a clock and a mailbox; rounds of execution run on a
+// ThreadPool between coordinator barriers:
+//
+//   1. Mailboxes are drained into the owning domain's heap (deterministic:
+//      the heap orders by the canonical key, see below).
+//   2. Each domain d gets a conservative horizon
+//          H_d = min over other domains o of (T_o + dist(o, d)),
+//      where T_o is o's next pending timestamp and dist is the all-pairs
+//      minimum link delay (Floyd–Warshall over the declared edges; the
+//      cluster derives edge delays from the fabric's minimum link
+//      latency). Events strictly below the horizon cannot be preempted by
+//      anything another domain may still send.
+//   3. Eligible domains execute their sub-horizon events concurrently.
+//      A cross-domain schedule becomes a timestamped mailbox deposit; it
+//      must honor the link lookahead (arrival >= sender time + delay) and
+//      shrinks the sender's own bound to deposit-arrival + dist(back) so a
+//      round-trip reply can never arrive in a window the sender already
+//      executed past.
+//   4. If no domain has a safe event, the globally earliest event runs
+//      alone (lockstep fallback) — this keeps zero-lookahead topologies
+//      correct, just serial.
+//
+// Determinism: every event carries (time, origin domain, per-origin seq);
+// heaps and the lockstep fallback order by exactly this key, so execution
+// is independent of thread scheduling. With a single domain the key
+// degenerates to the serial engine's (time, seq) submission order, making
+// serial and parallel runs bit-identical — including trace-span order —
+// for any model whose events stay in one domain, and for any multi-domain
+// model whose domains only interact through declared edges.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace grout::sim {
+
+class ParallelSimulator final : public Engine {
+ public:
+  struct Config {
+    /// Pool workers executing domain rounds. >= 1; 1 is legal (useful for
+    /// differential testing: same merge logic, no concurrency).
+    std::size_t threads{2};
+    /// Initial number of domains (>= 1; domain 0 always exists).
+    std::size_t domains{1};
+  };
+
+  explicit ParallelSimulator(Config config);
+  ~ParallelSimulator() override;
+
+  // -- topology -------------------------------------------------------------
+
+  /// Declare a new domain (allowed between drives, or from model code
+  /// while no other domain is executing — the elastic hot-join path).
+  DomainId add_domain();
+
+  /// Declare a directed communication edge: events may be scheduled from
+  /// `from`'s execution into `to`, never earlier than sender time +
+  /// `min_delay`. The delay is the conservative lookahead for this link.
+  void add_edge(DomainId from, DomainId to, SimTime min_delay);
+
+  /// Symmetric edge (both directions, same lookahead).
+  void add_link(DomainId a, DomainId b, SimTime min_delay);
+
+  // -- Engine ---------------------------------------------------------------
+
+  [[nodiscard]] SimTime now() const override;
+  void schedule_at(SimTime t, Callback fn) override;
+  void schedule_in(DomainId domain, SimTime t, Callback fn) override;
+  bool step() override;
+  void run() override;
+  bool run_until(SimTime deadline) override;
+  [[nodiscard]] std::size_t pending_events() const override;
+  [[nodiscard]] std::uint64_t executed_events() const override;
+  [[nodiscard]] SimTime next_event_time() const override;
+  [[nodiscard]] DomainId current_domain() const override;
+  [[nodiscard]] std::size_t domain_count() const override { return domains_.size(); }
+  [[nodiscard]] std::size_t threads() const override { return pool_.size(); }
+
+  // -- domain-scoped drive (DomainView) -------------------------------------
+  // Only legal on an *isolated* domain (no declared edges in or out):
+  // driving one domain of a coupled topology independently could execute
+  // past what its neighbors might still send.
+
+  [[nodiscard]] SimTime domain_now(DomainId d) const;
+  bool step_domain(DomainId d);
+  void run_domain(DomainId d);
+  bool run_domain_until(DomainId d, SimTime deadline);
+  [[nodiscard]] SimTime domain_next_event_time(DomainId d) const;
+  [[nodiscard]] std::size_t domain_pending_events(DomainId d) const;
+  [[nodiscard]] std::uint64_t domain_executed_events(DomainId d) const;
+  [[nodiscard]] bool domain_isolated(DomainId d) const;
+
+  // -- introspection (tests / benches) --------------------------------------
+
+  /// Shortest cumulative link delay from `from` to `to`
+  /// (SimTime::max() when no path; zero when from == to).
+  [[nodiscard]] SimTime min_path_delay(DomainId from, DomainId to);
+
+  /// Conservative horizon of `d` for the engine's current event
+  /// population (SimTime::max() when nothing can reach `d`).
+  [[nodiscard]] SimTime horizon_of(DomainId d);
+
+  /// Barrier rounds executed so far (parallel windows, not lockstep).
+  [[nodiscard]] std::uint64_t parallel_rounds() const { return parallel_rounds_; }
+  /// Events executed via the lockstep (no-safe-window) fallback.
+  [[nodiscard]] std::uint64_t lockstep_steps() const { return lockstep_steps_; }
+  /// Events deposited through cross-domain mailboxes.
+  [[nodiscard]] std::uint64_t mailbox_deposits() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    DomainId origin;
+    std::uint64_t origin_seq;
+    Callback fn;
+  };
+  /// Canonical total order; reduces to (time, seq) with a single domain.
+  struct LaterKey {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.origin_seq > b.origin_seq;
+    }
+  };
+
+  struct Domain {
+    std::vector<Event> heap;  ///< binary min-heap in LaterKey order
+    SimTime clock{SimTime::zero()};
+    std::uint64_t next_seq{0};  ///< per-origin sequence allocator
+    std::uint64_t executed{0};
+    /// Dynamic bound of the in-flight round: starts at the conservative
+    /// horizon, shrinks when this domain deposits cross-domain (so a
+    /// reply can never land behind the local clock).
+    SimTime bound{SimTime::max()};
+    std::uint64_t deposits{0};  ///< cross-domain sends originated here
+    mutable std::mutex inbox_mu;
+    std::vector<Event> inbox;
+    std::size_t edges_in{0};
+    std::size_t edges_out{0};
+  };
+
+  void push_event(Domain& dom, Event ev);
+  Event pop_event(Domain& dom);
+  void drain_inboxes();
+  void refresh_dist();
+  /// Horizon of `d` given each domain's next pending time in `tops`.
+  [[nodiscard]] SimTime horizon_from_tops(DomainId d, const std::vector<SimTime>& tops) const;
+  /// Execute domain `d`'s events with time <= deadline and < its dynamic
+  /// bound. Runs with a thread-local execution context installed.
+  void exec_domain(DomainId d, SimTime deadline);
+  /// Execute the single globally earliest event (by canonical key).
+  void lockstep_one();
+  /// Drive rounds until drained or past `deadline`; returns true if
+  /// drained.
+  bool drive(SimTime deadline);
+  [[nodiscard]] bool in_execution() const;
+  [[nodiscard]] SimTime edge_delay(DomainId from, DomainId to) const;
+
+  std::vector<std::unique_ptr<Domain>> domains_;
+  /// Directed min link delays, row-major over (from, to); max() = no edge.
+  std::vector<SimTime> edges_;
+  /// All-pairs shortest delays (same layout), rebuilt when dirty.
+  std::vector<SimTime> dist_;
+  bool dist_dirty_{true};
+  ThreadPool pool_;
+  bool running_parallel_{false};
+  std::uint64_t parallel_rounds_{0};
+  std::uint64_t lockstep_steps_{0};
+};
+
+}  // namespace grout::sim

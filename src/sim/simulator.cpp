@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace grout::sim {
@@ -7,21 +8,24 @@ namespace grout::sim {
 void Simulator::schedule_at(SimTime t, Callback fn) {
   GROUT_REQUIRE(t >= now_, "cannot schedule an event in the past");
   GROUT_REQUIRE(static_cast<bool>(fn), "null event callback");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::schedule_in(DomainId domain, SimTime t, Callback fn) {
+  GROUT_REQUIRE(domain == kMainDomain, "the serial engine has only domain 0");
+  schedule_at(t, std::move(fn));
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  auto& top = const_cast<Event&>(queue_.top());
-  const SimTime t = top.time;
-  Callback fn = std::move(top.fn);
-  queue_.pop();
-  GROUT_CHECK(t >= now_, "event queue time went backwards");
-  now_ = t;
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  GROUT_CHECK(ev.time >= now_, "event queue time went backwards");
+  now_ = ev.time;
   ++executed_;
-  fn();
+  ev.fn();
   return true;
 }
 
@@ -31,8 +35,8 @@ void Simulator::run() {
 }
 
 bool Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > deadline) return false;
+  while (!heap_.empty()) {
+    if (heap_.front().time > deadline) return false;
     step();
   }
   return true;

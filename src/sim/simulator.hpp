@@ -1,58 +1,46 @@
-// Discrete-event simulation core.
+// Serial discrete-event engine.
 //
-// Single-threaded and deterministic: events scheduled for the same timestamp
-// fire in submission order (a monotone sequence number breaks ties). All
-// simulated subsystems (GPUs, UVM, network, cluster nodes) hang off one
-// Simulator instance.
+// Single-threaded and deterministic: events scheduled for the same
+// timestamp fire in submission order (a monotone sequence number breaks
+// ties). All simulated subsystems (GPUs, UVM, network, cluster nodes) hang
+// off one Engine instance; this is the default backend — see
+// sim/engine.hpp for the interface and sim/parallel_sim.hpp for the
+// multi-threaded one.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "sim/engine.hpp"
 
 namespace grout::sim {
 
-class Simulator {
+class Simulator final : public Engine {
  public:
-  using Callback = std::function<void()>;
-
   Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
 
-  /// Current virtual time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must not be in the past).
-  void schedule_at(SimTime t, Callback fn);
+  void schedule_at(SimTime t, Callback fn) override;
+  void schedule_in(DomainId domain, SimTime t, Callback fn) override;
 
-  /// Schedule `fn` after `delay` from now.
-  void schedule_after(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  bool step() override;
+  void run() override;
+  bool run_until(SimTime deadline) override;
 
-  /// Run a single event; returns false if the queue is empty.
-  bool step();
+  [[nodiscard]] std::size_t pending_events() const override { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const override { return executed_; }
 
-  /// Run until the event queue drains.
-  void run();
-
-  /// Run until the queue drains or virtual time would exceed `deadline`.
-  /// Returns true if it drained; false if it stopped at the deadline with
-  /// events still pending (the paper's 2.5 h per-run cap uses this).
-  bool run_until(SimTime deadline);
-
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
-  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
-
-  /// Timestamp of the next pending event (SimTime::max() when idle); lets
-  /// callers that drive step() themselves honor a deadline the way
-  /// run_until() does, without executing past it.
-  [[nodiscard]] SimTime next_event_time() const {
-    return queue_.empty() ? SimTime::max() : queue_.top().time;
+  [[nodiscard]] SimTime next_event_time() const override {
+    return heap_.empty() ? SimTime::max() : heap_.front().time;
   }
+
+  [[nodiscard]] DomainId current_domain() const override { return kMainDomain; }
+  [[nodiscard]] std::size_t domain_count() const override { return 1; }
+  [[nodiscard]] std::size_t threads() const override { return 1; }
 
  private:
   struct Event {
@@ -60,6 +48,10 @@ class Simulator {
     std::uint64_t seq;
     Callback fn;
   };
+  // std::push_heap/pop_heap build a max-heap, so "later fires last" means
+  // the comparator orders by *later* (time, seq): the heap front is the
+  // earliest event. An explicit vector (instead of std::priority_queue)
+  // lets pop_heap move the callback out of the element legitimately.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -70,7 +62,7 @@ class Simulator {
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace grout::sim

@@ -26,7 +26,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "sim/resource.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "uvm/access.hpp"
 #include "uvm/tuning.hpp"
 #include "uvm/types.hpp"
@@ -60,7 +60,7 @@ struct DeviceAccessResult {
 
 class UvmSpace {
  public:
-  UvmSpace(sim::Simulator& simulator, UvmTuning tuning, std::vector<DeviceConfig> devices,
+  UvmSpace(sim::Engine& simulator, UvmTuning tuning, std::vector<DeviceConfig> devices,
            EvictionPolicyKind eviction = EvictionPolicyKind::ClockLru,
            std::uint64_t seed = 0x5eedULL);
 
@@ -208,7 +208,7 @@ class UvmSpace {
   void for_each_page(const ArrayInfo& arr, ByteRange range, const AccessPattern& pattern,
                      PageFn&& fn);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   UvmTuning tuning_;
   EvictionPolicyKind eviction_;
   Rng rng_;

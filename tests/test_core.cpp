@@ -2,6 +2,7 @@
 // hierarchical scheduler, autoscaler.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/autoscaler.hpp"
 #include "core/grout_runtime.hpp"
 

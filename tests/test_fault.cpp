@@ -3,6 +3,7 @@
 // DAG lineage replay, and the degraded-link handling in the data movers.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "core/grout_runtime.hpp"
 #include "net/fault.hpp"
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "gpusim/gpu_node.hpp"
 
 namespace grout::gpusim {

@@ -53,8 +53,10 @@ struct ScenarioOutcome {
 
 /// Run the seed's scenario. With `check` on, the invariant checker runs
 /// after every step; with `trace` on, the tracer records spans for the
-/// determinism diff.
-ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
+/// determinism diff. `sim_threads` > 1 runs the same scenario on the
+/// parallel event engine (the serial-vs-parallel differential below).
+ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace,
+                             std::size_t sim_threads = 1) {
   Rng rng(seed);
   GroutConfig cfg;
   cfg.cluster.workers = 2 + rng.next_below(3);  // 2..4
@@ -62,6 +64,7 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace) {
   cfg.cluster.worker_node.device.memory = 8_MiB;
   cfg.cluster.worker_node.tuning.page_size = 1_MiB;
   cfg.cluster.trace = trace;
+  cfg.cluster.sim_threads = sim_threads;
   cfg.policy = kPolicies[seed % 6];
   if (cfg.policy == PolicyKind::VectorStep) {
     cfg.step_vector = {static_cast<std::uint32_t>(1 + rng.next_below(3))};
@@ -330,15 +333,13 @@ TEST(InvariantFuzzTest, JoinDrainAndDeathComposeInOneRun) {
 }
 
 // ---------------------------------------------------------------------------
-// Determinism golden test
+// Determinism golden tests (and the serial-vs-parallel differential)
 // ---------------------------------------------------------------------------
 
-TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
-  // Seed 7 draws MinTransferTime with a drain-heavy action mix; any seed
-  // must reproduce, this one just covers the richest machinery.
-  const ScenarioOutcome a = run_scenario(7, /*check=*/false, /*trace=*/true);
-  const ScenarioOutcome b = run_scenario(7, /*check=*/false, /*trace=*/true);
-
+/// Assert two scenario outcomes are bit-identical: placements, trace-span
+/// order, membership log, and every simulated-world metric (decision_ns is
+/// real wall-clock and is deliberately excluded).
+void expect_identical_outcomes(const ScenarioOutcome& a, const ScenarioOutcome& b) {
   EXPECT_EQ(a.placements, b.placements);
   EXPECT_EQ(a.trace_names, b.trace_names);
 
@@ -349,8 +350,6 @@ TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
     EXPECT_EQ(a.membership[i].at, b.membership[i].at);
   }
 
-  // Every simulated-world counter must match exactly; decision_ns is real
-  // wall-clock and is deliberately excluded.
   EXPECT_EQ(a.metrics.assignments, b.metrics.assignments);
   EXPECT_EQ(a.metrics.inflight, b.metrics.inflight);
   EXPECT_EQ(a.metrics.controller_sends, b.metrics.controller_sends);
@@ -382,17 +381,6 @@ TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
   EXPECT_EQ(a.metrics.refetched_bytes, b.metrics.refetched_bytes);
   EXPECT_EQ(a.metrics.stale_evictions, b.metrics.stale_evictions);
   EXPECT_EQ(a.metrics.bytes_stale_evicted, b.metrics.bytes_stale_evicted);
-}
-
-TEST(DeterminismTest, SpillSeedIsBitIdentical) {
-  // Seed 8 runs the tiered spill pipeline (seed % 3 == 2): background
-  // sweeps, demotions, NVMe read-backs and their trace spans must all
-  // replay bit-identically.
-  const ScenarioOutcome a = run_scenario(8, /*check=*/false, /*trace=*/true);
-  const ScenarioOutcome b = run_scenario(8, /*check=*/false, /*trace=*/true);
-
-  EXPECT_EQ(a.placements, b.placements);
-  EXPECT_EQ(a.trace_names, b.trace_names);
   EXPECT_EQ(a.metrics.bg_sweeps, b.metrics.bg_sweeps);
   EXPECT_EQ(a.metrics.bg_evictions, b.metrics.bg_evictions);
   EXPECT_EQ(a.metrics.bg_bytes_evicted, b.metrics.bg_bytes_evicted);
@@ -404,11 +392,61 @@ TEST(DeterminismTest, SpillSeedIsBitIdentical) {
   EXPECT_EQ(a.metrics.spill_nvme_high_water, b.metrics.spill_nvme_high_water);
   EXPECT_EQ(a.metrics.writeback_queue_peak, b.metrics.writeback_queue_peak);
   EXPECT_EQ(a.metrics.spill_wait, b.metrics.spill_wait);
+}
+
+TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
+  // Seed 7 draws MinTransferTime with a drain-heavy action mix; any seed
+  // must reproduce, this one just covers the richest machinery.
+  const ScenarioOutcome a = run_scenario(7, /*check=*/false, /*trace=*/true);
+  const ScenarioOutcome b = run_scenario(7, /*check=*/false, /*trace=*/true);
+  expect_identical_outcomes(a, b);
+}
+
+TEST(DeterminismTest, SpillSeedIsBitIdentical) {
+  // Seed 8 runs the tiered spill pipeline (seed % 3 == 2): background
+  // sweeps, demotions, NVMe read-backs and their trace spans must all
+  // replay bit-identically.
+  const ScenarioOutcome a = run_scenario(8, /*check=*/false, /*trace=*/true);
+  const ScenarioOutcome b = run_scenario(8, /*check=*/false, /*trace=*/true);
+  expect_identical_outcomes(a, b);
 
   // And the headroom guarantee held on both runs: the dispatch path never
   // fell back to synchronous eviction.
   EXPECT_EQ(a.metrics.dispatch_stall_evictions, 0u);
   EXPECT_EQ(a.metrics.dispatch_stall_spills, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel differential over a fuzz-seed slice
+// ---------------------------------------------------------------------------
+
+// The same seeded scenario run on the serial engine (sim_threads = 1) and
+// on the parallel engine (sim_threads = 4, one domain per worker plus the
+// controller) must be bit-identical: same placements, same trace-span
+// order, same membership log, same metrics. Twelve consecutive seeds cover
+// all six placement policies twice, the spill-tier seeds (2, 5, 8, 11),
+// the worker-kill seeds (0, 5, 10) and the multi-tenant seeds (1, 4, 7,
+// 10) — the full machinery the fuzz sweep exercises.
+TEST(ParallelDifferentialTest, FuzzSeedSliceSerialVsParallelBitIdentical) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ScenarioOutcome serial =
+        run_scenario(seed, /*check=*/false, /*trace=*/true, /*sim_threads=*/1);
+    const ScenarioOutcome parallel =
+        run_scenario(seed, /*check=*/false, /*trace=*/true, /*sim_threads=*/4);
+    expect_identical_outcomes(serial, parallel);
+    if (::testing::Test::HasFailure()) break;  // one seed's diff is enough
+  }
+}
+
+// The invariant checker itself must hold step-by-step under the parallel
+// engine too, not just match the serial run's outcome.
+TEST(ParallelDifferentialTest, InvariantsHoldUnderParallelEngine) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    run_scenario(seed, /*check=*/true, /*trace=*/false, /*sim_threads=*/4);
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 }  // namespace

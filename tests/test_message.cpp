@@ -1,6 +1,7 @@
 // Tests for the CE wire codec and the control lane.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
 #include "net/message.hpp"

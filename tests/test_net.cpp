@@ -1,6 +1,7 @@
 // Tests for the simulated network fabric.
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "net/fabric.hpp"
 
 namespace grout::net {

@@ -1,0 +1,670 @@
+// Conservative parallel event engine: lookahead/horizon math, mailbox
+// ordering, deadline semantics, the lockstep fallback, DomainView, and the
+// bit-identical serial-vs-parallel guarantees (the runtime-level
+// differential over fuzz seeds lives in test_invariants.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/grout_runtime.hpp"
+#include "serve/serve.hpp"
+#include "sim/domain_view.hpp"
+#include "sim/parallel_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace grout::sim {
+namespace {
+
+ParallelSimulator::Config cfg(std::size_t threads, std::size_t domains) {
+  ParallelSimulator::Config c;
+  c.threads = threads;
+  c.domains = domains;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Single-domain Engine-contract parity with the serial Simulator
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSim, StartsAtZero) {
+  ParallelSimulator sim(cfg(2, 1));
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.domain_count(), 1u);
+  EXPECT_EQ(sim.threads(), 2u);
+  EXPECT_EQ(sim.current_domain(), kMainDomain);
+  EXPECT_EQ(sim.next_event_time(), SimTime::max());
+}
+
+TEST(ParallelSim, EventsFireInTimeOrder) {
+  ParallelSimulator sim(cfg(2, 1));
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_us(30.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_us(10.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_us(20.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::from_us(30.0));
+}
+
+TEST(ParallelSim, SameTimestampFifoOrder) {
+  ParallelSimulator sim(cfg(4, 1));
+  std::vector<int> order;
+  const SimTime t = SimTime::from_us(5.0);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelSim, SchedulingInThePastThrows) {
+  ParallelSimulator sim(cfg(2, 1));
+  sim.schedule_at(SimTime::from_us(10.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::from_us(5.0), [] {}), InvalidArgument);
+}
+
+TEST(ParallelSim, NullCallbackThrows) {
+  ParallelSimulator sim(cfg(2, 1));
+  EXPECT_THROW(sim.schedule_at(SimTime::from_us(1.0), nullptr), InvalidArgument);
+}
+
+TEST(ParallelSim, StepReturnsFalseOnEmpty) {
+  ParallelSimulator sim(cfg(2, 1));
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(SimTime::from_us(1.0), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(ParallelSim, RunUntilStopsAtDeadlineAndResumes) {
+  ParallelSimulator sim(cfg(2, 1));
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(1.0), [&] { ++fired; });
+  sim.schedule_at(SimTime::from_us(100.0), [&] { ++fired; });
+  EXPECT_FALSE(sim.run_until(SimTime::from_us(50.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.next_event_time(), SimTime::from_us(100.0));
+  EXPECT_TRUE(sim.run_until(SimTime::from_us(1000.0)));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ParallelSim, RunUntilInclusiveOfDeadline) {
+  ParallelSimulator sim(cfg(2, 1));
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(50.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(SimTime::from_us(50.0)));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ParallelSim, EventsCanScheduleMoreEvents) {
+  ParallelSimulator sim(cfg(2, 1));
+  int fired = 0;
+  sim.schedule_at(SimTime::from_us(1.0), [&] {
+    ++fired;
+    sim.schedule_after(SimTime::from_us(1.0), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_us(2.0));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+// The same pseudo-random cascading schedule on the serial engine and on a
+// single-domain parallel engine must execute in the identical order: with
+// one domain the canonical (time, origin, seq) key degenerates to the
+// serial (time, seq) submission order.
+TEST(ParallelSim, SingleDomainBitIdenticalToSerialEngine) {
+  const auto drive = [](Engine& sim, std::vector<int>& order) {
+    grout::Rng rng(99);
+    std::function<void(int)> spawn = [&](int id) {
+      order.push_back(id);
+      if (id < 400) {
+        const SimTime gap = SimTime::from_ns(static_cast<std::int64_t>(rng.next_below(20)));
+        sim.schedule_after(gap, [&spawn, id] { spawn(id + 100); });
+      }
+    };
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at(SimTime::from_ns(static_cast<std::int64_t>(rng.next_below(50))),
+                      [&spawn, i] { spawn(i); });
+    }
+    sim.run();
+  };
+  std::vector<int> serial;
+  std::vector<int> parallel;
+  {
+    Simulator sim;
+    drive(sim, serial);
+  }
+  {
+    ParallelSimulator sim(cfg(4, 1));
+    drive(sim, parallel);
+    // A single-domain model never crosses domains and never needs the pool.
+    EXPECT_EQ(sim.mailbox_deposits(), 0u);
+    EXPECT_EQ(sim.parallel_rounds(), 0u);
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Topology, lookahead and horizon math
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimTopology, MinPathDelayIsAllPairsShortest) {
+  ParallelSimulator sim(cfg(2, 3));
+  sim.add_edge(0, 1, SimTime::from_us(10.0));
+  sim.add_edge(1, 2, SimTime::from_us(5.0));
+  EXPECT_EQ(sim.min_path_delay(0, 0), SimTime::zero());
+  EXPECT_EQ(sim.min_path_delay(0, 1), SimTime::from_us(10.0));
+  EXPECT_EQ(sim.min_path_delay(0, 2), SimTime::from_us(15.0));  // two hops
+  EXPECT_EQ(sim.min_path_delay(2, 0), SimTime::max());          // no path back
+
+  // A direct edge shorter than the two-hop path wins…
+  sim.add_edge(0, 2, SimTime::from_us(12.0));
+  EXPECT_EQ(sim.min_path_delay(0, 2), SimTime::from_us(12.0));
+  // …and re-declaring an edge keeps the minimum delay.
+  sim.add_edge(0, 2, SimTime::from_us(20.0));
+  EXPECT_EQ(sim.min_path_delay(0, 2), SimTime::from_us(12.0));
+}
+
+TEST(ParallelSimTopology, AddLinkIsSymmetric) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_link(0, 1, SimTime::from_us(7.0));
+  EXPECT_EQ(sim.min_path_delay(0, 1), SimTime::from_us(7.0));
+  EXPECT_EQ(sim.min_path_delay(1, 0), SimTime::from_us(7.0));
+  EXPECT_FALSE(sim.domain_isolated(0));
+  EXPECT_FALSE(sim.domain_isolated(1));
+}
+
+TEST(ParallelSimTopology, EdgeValidation) {
+  ParallelSimulator sim(cfg(2, 2));
+  EXPECT_THROW(sim.add_edge(0, 0, SimTime::from_us(1.0)), InvalidArgument);
+  EXPECT_THROW(sim.add_edge(0, 2, SimTime::from_us(1.0)), InvalidArgument);
+  EXPECT_THROW(sim.add_edge(0, 1, SimTime::from_us(-1.0)), InvalidArgument);
+}
+
+TEST(ParallelSimTopology, AddDomainGrowsTopology) {
+  ParallelSimulator sim(cfg(2, 1));
+  EXPECT_EQ(sim.domain_count(), 1u);
+  const DomainId d1 = sim.add_domain();
+  const DomainId d2 = sim.add_domain();
+  EXPECT_EQ(d1, 1u);
+  EXPECT_EQ(d2, 2u);
+  EXPECT_EQ(sim.domain_count(), 3u);
+  EXPECT_TRUE(sim.domain_isolated(d2));
+  sim.add_link(0, d1, SimTime::from_us(3.0));
+  // Growing the matrix must preserve previously declared edges.
+  sim.add_domain();
+  EXPECT_EQ(sim.min_path_delay(0, d1), SimTime::from_us(3.0));
+}
+
+TEST(ParallelSimTopology, HorizonIsNeighborTopPlusDistance) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_link(0, 1, SimTime::from_us(10.0));
+  sim.schedule_in(0, SimTime::from_us(5.0), [] {});
+  sim.schedule_in(1, SimTime::from_us(20.0), [] {});
+  // Nothing from domain 1 can reach domain 0 before 20 + 10.
+  EXPECT_EQ(sim.horizon_of(0), SimTime::from_us(30.0));
+  // Nothing from domain 0 can reach domain 1 before 5 + 10.
+  EXPECT_EQ(sim.horizon_of(1), SimTime::from_us(15.0));
+}
+
+TEST(ParallelSimTopology, HorizonInfiniteWhenUnreachable) {
+  ParallelSimulator sim(cfg(2, 2));  // no edges at all
+  sim.schedule_in(0, SimTime::from_us(5.0), [] {});
+  sim.schedule_in(1, SimTime::from_us(1.0), [] {});
+  EXPECT_EQ(sim.horizon_of(0), SimTime::max());
+  EXPECT_EQ(sim.horizon_of(1), SimTime::max());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-domain mailboxes
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimMailbox, DepositsExecuteInTimestampOrder) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_edge(0, 1, SimTime::from_us(10.0));
+  std::vector<SimTime> arrivals;
+  // One domain-0 event fans out three deposits with shuffled arrival times;
+  // domain 1 must execute them in timestamp order regardless.
+  sim.schedule_in(0, SimTime::zero(), [&] {
+    sim.schedule_in(1, SimTime::from_us(30.0), [&] { arrivals.push_back(sim.now()); });
+    sim.schedule_in(1, SimTime::from_us(10.0), [&] { arrivals.push_back(sim.now()); });
+    sim.schedule_in(1, SimTime::from_us(20.0), [&] { arrivals.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], SimTime::from_us(10.0));
+  EXPECT_EQ(arrivals[1], SimTime::from_us(20.0));
+  EXPECT_EQ(arrivals[2], SimTime::from_us(30.0));
+  EXPECT_EQ(sim.mailbox_deposits(), 3u);
+  EXPECT_EQ(sim.domain_executed_events(1), 3u);
+}
+
+TEST(ParallelSimMailbox, CrossDomainWithoutEdgeThrows) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.schedule_in(0, SimTime::zero(), [&] {
+    sim.schedule_in(1, SimTime::from_us(100.0), [] {});
+  });
+  EXPECT_THROW(sim.run(), InvalidArgument);
+}
+
+TEST(ParallelSimMailbox, LookaheadViolationThrows) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_edge(0, 1, SimTime::from_us(10.0));
+  sim.schedule_in(0, SimTime::from_us(5.0), [&] {
+    // Arrival at 5 + 5 < 5 + lookahead(10): the link cannot deliver it.
+    sim.schedule_in(1, SimTime::from_us(10.0), [] {});
+  });
+  EXPECT_THROW(sim.run(), InvalidArgument);
+}
+
+TEST(ParallelSimMailbox, SetupTimeScheduleIntoAnyDomain) {
+  // Coordinator-side (non-executing) scheduling needs no edges: it is the
+  // model-construction path, not a message. The two isolated domains may
+  // execute concurrently, so each event records into its own slot.
+  ParallelSimulator sim(cfg(2, 3));
+  DomainId ran_a = 99;
+  DomainId ran_b = 99;
+  SimTime at_a = SimTime::max();
+  SimTime at_b = SimTime::max();
+  sim.schedule_in(2, SimTime::from_us(1.0), [&] {
+    ran_a = sim.current_domain();
+    at_a = sim.now();
+  });
+  sim.schedule_in(1, SimTime::from_us(2.0), [&] {
+    ran_b = sim.current_domain();
+    at_b = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(ran_a, 2u);
+  EXPECT_EQ(at_a, SimTime::from_us(1.0));
+  EXPECT_EQ(ran_b, 1u);
+  EXPECT_EQ(at_b, SimTime::from_us(2.0));
+  EXPECT_EQ(sim.mailbox_deposits(), 0u);
+}
+
+// The dynamic-bound regression: a domain that already holds events *after*
+// a round-trip reply's arrival time must not execute them before the reply
+// lands. Without shrinking the sender's bound at deposit time, domain 0
+// would run its t=25 event in the same round as the t=0 send (its static
+// horizon is infinite — domain 1 starts empty) and the reply at t=20 would
+// arrive behind the clock.
+TEST(ParallelSimMailbox, RoundTripReplyCannotArriveBehindTheClock) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_link(0, 1, SimTime::from_us(10.0));
+  std::vector<std::pair<DomainId, SimTime>> log;
+  sim.schedule_in(0, SimTime::zero(), [&] {
+    log.emplace_back(0, sim.now());
+    sim.schedule_in(1, SimTime::from_us(10.0), [&] {
+      log.emplace_back(1, sim.now());
+      sim.schedule_in(0, SimTime::from_us(20.0), [&] { log.emplace_back(0, sim.now()); });
+    });
+  });
+  sim.schedule_in(0, SimTime::from_us(12.0), [&] { log.emplace_back(0, sim.now()); });
+  sim.schedule_in(0, SimTime::from_us(25.0), [&] { log.emplace_back(0, sim.now()); });
+  sim.run();
+  const std::vector<std::pair<DomainId, SimTime>> want{
+      {0, SimTime::zero()},
+      {0, SimTime::from_us(12.0)},  // below the shrunk bound, safe
+      {1, SimTime::from_us(10.0)},
+      {0, SimTime::from_us(20.0)},  // the reply
+      {0, SimTime::from_us(25.0)},  // held back until the reply landed
+  };
+  EXPECT_EQ(log, want);
+}
+
+// Ping-pong between two coupled domains: the same exchange must produce
+// the same per-domain execution counts and clocks on one thread and on
+// four (the merge is deterministic, threads only change who executes).
+TEST(ParallelSimMailbox, PingPongIsThreadCountInvariant) {
+  struct Outcome {
+    std::vector<SimTime> times;
+    std::uint64_t executed0{};
+    std::uint64_t executed1{};
+    SimTime now{};
+  };
+  const auto play = [](std::size_t threads) {
+    ParallelSimulator sim(cfg(threads, 2));
+    sim.add_link(0, 1, SimTime::from_us(5.0));
+    Outcome out;
+    std::function<void(int)> volley = [&](int n) {
+      out.times.push_back(sim.now());
+      if (n >= 20) return;
+      const DomainId peer = sim.current_domain() == 0 ? 1 : 0;
+      sim.schedule_in(peer, sim.now() + SimTime::from_us(5.0),
+                      [&volley, n] { volley(n + 1); });
+    };
+    sim.schedule_in(0, SimTime::zero(), [&volley] { volley(0); });
+    sim.run();
+    out.executed0 = sim.domain_executed_events(0);
+    out.executed1 = sim.domain_executed_events(1);
+    out.now = sim.now();
+    return out;
+  };
+  const Outcome one = play(1);
+  const Outcome four = play(4);
+  EXPECT_EQ(one.times, four.times);
+  EXPECT_EQ(one.executed0, four.executed0);
+  EXPECT_EQ(one.executed1, four.executed1);
+  EXPECT_EQ(one.now, four.now);
+  EXPECT_EQ(one.now, SimTime::from_us(100.0));  // 20 volleys x 5 us
+  EXPECT_EQ(one.executed0 + one.executed1, 21u);
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep fallback (zero-lookahead coupling)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimLockstep, ZeroDelayLinkFallsBackToLockstep) {
+  ParallelSimulator sim(cfg(4, 2));
+  sim.add_link(0, 1, SimTime::zero());
+  std::vector<std::pair<DomainId, int>> order;
+  for (int i = 0; i < 4; ++i) {
+    const SimTime t = SimTime::from_us(static_cast<double>(i));
+    sim.schedule_in(0, t, [&order, i] { order.emplace_back(0, i); });
+    sim.schedule_in(1, t, [&order, i] { order.emplace_back(1, i); });
+  }
+  sim.run();
+  // With zero lookahead the two fronts tie at every timestamp, so progress
+  // must go through the lockstep fallback (possibly interleaved with
+  // single-domain windows) and never through a concurrent round — in
+  // canonical (time, origin) order: domain 0 before domain 1 at each
+  // timestamp.
+  EXPECT_GE(sim.lockstep_steps(), 1u);
+  EXPECT_EQ(sim.parallel_rounds(), 0u);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[2 * i], (std::pair<DomainId, int>(0, i)));
+    EXPECT_EQ(order[2 * i + 1], (std::pair<DomainId, int>(1, i)));
+  }
+}
+
+TEST(ParallelSimLockstep, PositiveLookaheadUsesParallelRounds) {
+  ParallelSimulator sim(cfg(4, 2));
+  sim.add_link(0, 1, SimTime::from_us(1000.0));
+  // Both domains busy well below the mutual horizon: the round executes
+  // them concurrently, not in lockstep.
+  for (int i = 0; i < 50; ++i) {
+    const SimTime t = SimTime::from_us(static_cast<double>(i));
+    sim.schedule_in(0, t, [] {});
+    sim.schedule_in(1, t, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.lockstep_steps(), 0u);
+  EXPECT_GE(sim.parallel_rounds(), 1u);
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine::run_until_done (the runtime's centralized wait loop)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimRunUntilDone, CompletesWhenConditionFlips) {
+  ParallelSimulator sim(cfg(2, 1));
+  bool done = false;
+  sim.schedule_at(SimTime::from_us(10.0), [&] { done = true; });
+  sim.schedule_at(SimTime::from_us(20.0), [] {});
+  EXPECT_TRUE(sim.run_until_done(SimTime::from_us(100.0), [&] { return done; }, "wait"));
+  // The condition flipped at 10 us; the later event must still be pending.
+  EXPECT_EQ(sim.now(), SimTime::from_us(10.0));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(ParallelSimRunUntilDone, DeadlineCutsTheWaitShort) {
+  ParallelSimulator sim(cfg(2, 1));
+  bool done = false;
+  sim.schedule_at(SimTime::from_us(50.0), [&] { done = true; });
+  EXPECT_FALSE(sim.run_until_done(SimTime::from_us(10.0), [&] { return done; }, "wait"));
+  EXPECT_FALSE(done);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(ParallelSimRunUntilDone, DrainedQueueIsADeadlockNotATimeout) {
+  ParallelSimulator sim(cfg(2, 1));
+  try {
+    sim.run_until_done(SimTime::from_us(10.0), [] { return false; }, "spill never landed");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("spill never landed"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DomainView
+// ---------------------------------------------------------------------------
+
+TEST(DomainViewTest, DrivesOneIsolatedDomain) {
+  ParallelSimulator sim(cfg(2, 3));
+  DomainView view(sim, 1);
+  EXPECT_EQ(view.domain(), 1u);
+  EXPECT_EQ(view.domain_count(), 1u);
+  EXPECT_EQ(view.current_domain(), 1u);
+
+  std::vector<int> order;
+  view.schedule_at(SimTime::from_us(2.0), [&] { order.push_back(2); });
+  view.schedule_at(SimTime::from_us(1.0), [&] { order.push_back(1); });
+  EXPECT_EQ(view.pending_events(), 2u);
+  EXPECT_EQ(view.next_event_time(), SimTime::from_us(1.0));
+  view.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(view.now(), SimTime::from_us(2.0));
+  EXPECT_EQ(view.executed_events(), 2u);
+  // The rest of the engine never moved.
+  EXPECT_EQ(sim.domain_executed_events(0), 0u);
+  EXPECT_EQ(sim.domain_executed_events(2), 0u);
+}
+
+TEST(DomainViewTest, RunUntilMatchesSerialSemantics) {
+  ParallelSimulator sim(cfg(2, 2));
+  DomainView view(sim, 1);
+  int fired = 0;
+  view.schedule_at(SimTime::from_us(1.0), [&] { ++fired; });
+  view.schedule_at(SimTime::from_us(100.0), [&] { ++fired; });
+  EXPECT_FALSE(view.run_until(SimTime::from_us(50.0)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(view.run_until(SimTime::from_us(100.0)));  // inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(view.step());
+}
+
+TEST(DomainViewTest, SpansExactlyOneDomain) {
+  ParallelSimulator sim(cfg(2, 2));
+  EXPECT_THROW(DomainView(sim, 2), InvalidArgument);  // out of range
+  DomainView view(sim, 1);
+  EXPECT_THROW(view.schedule_in(0, SimTime::from_us(1.0), [] {}), InvalidArgument);
+}
+
+TEST(DomainViewTest, CoupledDomainRefusesScopedDrive) {
+  ParallelSimulator sim(cfg(2, 2));
+  sim.add_link(0, 1, SimTime::from_us(5.0));
+  DomainView view(sim, 1);
+  view.schedule_at(SimTime::from_us(1.0), [] {});
+  // Driving one half of a coupled topology independently is unsafe.
+  EXPECT_THROW(view.step(), InvalidArgument);
+  EXPECT_THROW(view.run(), InvalidArgument);
+  EXPECT_THROW(view.run_until(SimTime::from_us(10.0)), InvalidArgument);
+  // The whole-engine drive still works.
+  sim.run();
+  EXPECT_EQ(sim.domain_executed_events(1), 1u);
+}
+
+// A self-owning random event cascade: the scheduled callbacks keep the
+// state alive via shared_ptr, because they outlive the scope that seeded
+// them (the engine is driven later, for all domains at once).
+struct Cascade {
+  Engine& sim;
+  grout::Rng rng;
+  std::vector<SimTime>& log;
+
+  static void seed(Engine& sim, std::uint64_t seed, std::vector<SimTime>& log) {
+    auto self = std::make_shared<Cascade>(Cascade{sim, grout::Rng(seed), log});
+    sim.schedule_at(SimTime::zero(), [self] { self->tick(self, 200); });
+  }
+
+  void tick(const std::shared_ptr<Cascade>& self, int left) {
+    log.push_back(sim.now());
+    if (left > 0) {
+      const SimTime gap = SimTime::from_ns(static_cast<std::int64_t>(1 + rng.next_below(30)));
+      sim.schedule_after(gap, [self, left] { self->tick(self, left - 1); });
+    }
+  }
+};
+
+// K independent event populations on one engine, driven whole: every
+// domain must see exactly the schedule a dedicated serial engine would
+// execute, while the shared drive runs them in concurrent rounds.
+TEST(DomainViewTest, IndependentDomainsMatchDedicatedSerialEngines) {
+  constexpr std::size_t kPoints = 3;
+
+  std::vector<std::vector<SimTime>> serial(kPoints);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    Simulator sim;
+    Cascade::seed(sim, 1000 + k, serial[k]);
+    sim.run();
+  }
+
+  ParallelSimulator engine(cfg(4, kPoints));
+  std::deque<DomainView> views;
+  std::vector<std::vector<SimTime>> parallel(kPoints);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    views.emplace_back(engine, static_cast<DomainId>(k));
+    Cascade::seed(views.back(), 1000 + k, parallel[k]);
+  }
+  engine.run();
+
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    SCOPED_TRACE("point " + std::to_string(k));
+    EXPECT_EQ(serial[k], parallel[k]);
+    EXPECT_EQ(engine.domain_executed_events(static_cast<DomainId>(k)), 201u);
+  }
+  // Isolated domains have infinite horizons: the whole sweep needs no
+  // lockstep and runs in concurrent rounds.
+  EXPECT_EQ(engine.lockstep_steps(), 0u);
+  EXPECT_GE(engine.parallel_rounds(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster / runtime integration
+// ---------------------------------------------------------------------------
+
+core::GroutConfig small_cluster(std::size_t sim_threads) {
+  core::GroutConfig cfg;
+  cfg.cluster.workers = 2;
+  cfg.cluster.worker_node.gpu_count = 2;
+  cfg.cluster.worker_node.device.memory = 64_MiB;
+  cfg.cluster.worker_node.tuning.page_size = 1_MiB;
+  cfg.cluster.sim_threads = sim_threads;
+  return cfg;
+}
+
+TEST(ParallelClusterTest, EngineTopologyMirrorsTheFabric) {
+  core::GroutRuntime rt(small_cluster(4));
+  sim::Engine& eng = rt.cluster().simulator();
+  EXPECT_EQ(eng.threads(), 4u);
+  // One controller domain plus one per worker.
+  ASSERT_EQ(eng.domain_count(), 3u);
+  auto& psim = dynamic_cast<ParallelSimulator&>(eng);
+  // Link lookahead between any two cluster domains is bounded below by the
+  // fabric's minimum link latency (the satellite's lookahead extraction).
+  const SimTime floor = rt.cluster().fabric().min_link_latency();
+  EXPECT_GT(floor, SimTime::zero());
+  for (DomainId a = 0; a < 3; ++a) {
+    for (DomainId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(psim.min_path_delay(a, b), floor) << "domains " << a << "->" << b;
+    }
+  }
+}
+
+TEST(ParallelClusterTest, HotJoinAddsADomain) {
+  core::GroutConfig cfg = small_cluster(2);
+  core::GroutRuntime rt(cfg);
+  auto& psim = dynamic_cast<ParallelSimulator&>(rt.cluster().simulator());
+  EXPECT_EQ(psim.domain_count(), 3u);
+  rt.add_worker();
+  EXPECT_EQ(psim.domain_count(), 4u);
+  // The new worker's domain is reachable from the controller domain.
+  EXPECT_NE(psim.min_path_delay(0, 3), SimTime::max());
+}
+
+// The serving sweep pattern end-to-end: K serving points, each a full
+// GroutRuntime + ServeScheduler living in its own isolated domain of one
+// shared parallel engine, driven together — must produce reports
+// bit-identical to K dedicated serial runs.
+TEST(ParallelServeSweepTest, SharedEngineMatchesDedicatedSerialRuns) {
+  constexpr std::size_t kPoints = 2;
+  const auto serve_cfg = [](std::size_t point) {
+    serve::ServeConfig sc;
+    serve::TenantSpec t;
+    t.name = "tenant" + std::to_string(point);
+    t.weight = 1.0;
+    t.workload = workloads::WorkloadKind::BlackScholes;
+    t.params.footprint = 6_MiB;
+    t.params.partitions = 2;
+    t.params.iterations = 1;
+    t.arrival = serve::parse_arrival("closed:2");
+    t.programs = 3 + point;
+    sc.tenants.push_back(std::move(t));
+    sc.seed = 42 + point;
+    return sc;
+  };
+  const auto expect_same = [](const serve::ServeReport& a, const serve::ServeReport& b) {
+    EXPECT_EQ(a.drained, b.drained);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.total_completed, b.total_completed);
+    EXPECT_EQ(a.total_shed, b.total_shed);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+      EXPECT_EQ(a.tenants[i].completed, b.tenants[i].completed);
+      EXPECT_EQ(a.tenants[i].ces_dispatched, b.tenants[i].ces_dispatched);
+      EXPECT_DOUBLE_EQ(a.tenants[i].latency_p50_ms, b.tenants[i].latency_p50_ms);
+      EXPECT_DOUBLE_EQ(a.tenants[i].latency_p99_ms, b.tenants[i].latency_p99_ms);
+      EXPECT_DOUBLE_EQ(a.tenants[i].queue_wait_mean_ms, b.tenants[i].queue_wait_mean_ms);
+      EXPECT_EQ(a.tenants[i].peak_resident, b.tenants[i].peak_resident);
+    }
+  };
+
+  // Dedicated serial baselines.
+  std::vector<serve::ServeReport> baseline;
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    core::GroutRuntime rt(small_cluster(1));
+    serve::ServeScheduler sched(rt, serve_cfg(k));
+    baseline.push_back(sched.run());
+  }
+
+  // Shared parallel engine: one isolated domain per point.
+  ParallelSimulator engine(cfg(2, kPoints));
+  std::deque<DomainView> views;
+  std::deque<core::GroutRuntime> runtimes;
+  std::deque<serve::ServeScheduler> scheds;
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    views.emplace_back(engine, static_cast<DomainId>(k));
+    core::GroutConfig gc = small_cluster(1);
+    gc.cluster.engine = &views.back();
+    runtimes.emplace_back(gc);
+    scheds.emplace_back(runtimes.back(), serve_cfg(k));
+  }
+  const SimTime horizon = serve_cfg(0).horizon;
+  for (auto& s : scheds) s.start();
+  engine.run_until(horizon);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    SCOPED_TRACE("point " + std::to_string(k));
+    const bool drained = engine.domain_pending_events(static_cast<DomainId>(k)) == 0;
+    const serve::ServeReport report = scheds[k].finalize(drained);
+    expect_same(baseline[k], report);
+  }
+}
+
+}  // namespace
+}  // namespace grout::sim

@@ -1,6 +1,7 @@
 // Tests for the GrCUDA-style intra-node runtime (Algorithm 2).
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hpp"
 #include "runtime/intra_node_runtime.hpp"
 
 namespace grout::runtime {

@@ -160,6 +160,57 @@ TEST(Simulator, CascadingEventsStress) {
 }
 
 // ---------------------------------------------------------------------------
+// Engine::run_until_done (the centralized wait-for-condition loop)
+// ---------------------------------------------------------------------------
+
+TEST(RunUntilDone, ReturnsImmediatelyWhenAlreadyDone) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_us(10.0), [] {});
+  EXPECT_TRUE(sim.run_until_done(SimTime::from_us(100.0), [] { return true; }, "noop"));
+  // Nothing may have executed: the condition held before the first step.
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(RunUntilDone, StopsAtTheEventThatFlipsTheCondition) {
+  Simulator sim;
+  bool done = false;
+  sim.schedule_at(SimTime::from_us(10.0), [&] { done = true; });
+  sim.schedule_at(SimTime::from_us(20.0), [] {});
+  EXPECT_TRUE(sim.run_until_done(SimTime::from_us(100.0), [&] { return done; }, "wait"));
+  EXPECT_EQ(sim.now(), SimTime::from_us(10.0));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(RunUntilDone, DeadlineCutsTheWaitShort) {
+  Simulator sim;
+  bool done = false;
+  sim.schedule_at(SimTime::from_us(50.0), [&] { done = true; });
+  EXPECT_FALSE(sim.run_until_done(SimTime::from_us(10.0), [&] { return done; }, "wait"));
+  EXPECT_FALSE(done);
+  // The past-deadline event must still be pending, not consumed.
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(RunUntilDone, DeadlineIsInclusive) {
+  Simulator sim;
+  bool done = false;
+  sim.schedule_at(SimTime::from_us(10.0), [&] { done = true; });
+  EXPECT_TRUE(sim.run_until_done(SimTime::from_us(10.0), [&] { return done; }, "wait"));
+}
+
+TEST(RunUntilDone, DrainedQueueIsADeadlockNotATimeout) {
+  Simulator sim;
+  try {
+    sim.run_until_done(SimTime::from_us(10.0), [] { return false; },
+                       "deadlock while waiting for a spill to reach the controller");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("spill to reach the controller"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Resource
 // ---------------------------------------------------------------------------
 
