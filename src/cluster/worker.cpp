@@ -29,7 +29,7 @@ uvm::ArrayId Worker::local_array(GlobalArrayId global) const {
 
 void Worker::release_array(GlobalArrayId global, gpusim::EventPtr after) {
   const auto it = local_ids_.find(global);
-  GROUT_REQUIRE(it != local_ids_.end(), "array not present on this worker");
+  if (it == local_ids_.end()) return;
   const uvm::ArrayId local = it->second;
   local_ids_.erase(it);
   if (after == nullptr || after->completed()) {

@@ -39,7 +39,9 @@ class Worker {
   /// Forget the global->local mapping and free the local allocation. When
   /// `after` is set the UvmSpace free is deferred until it completes (an
   /// in-flight staged send may still read the allocation); the mapping is
-  /// dropped immediately either way, so a re-ensure allocates afresh.
+  /// dropped immediately either way, so a re-ensure allocates afresh. A
+  /// global id this worker does not hold is a no-op: a release command can
+  /// arrive after death recovery already tore the replica down.
   void release_array(GlobalArrayId global, gpusim::EventPtr after = nullptr);
 
   /// Free every local allocation and clear the mapping (worker death:

@@ -9,7 +9,35 @@ namespace grout::core {
 
 namespace {
 using WallClock = std::chrono::steady_clock;
+
+/// Workers that hot-join from *inside* event execution (elastic-plan joins,
+/// autoscale scale-out) need their engine domains pre-created: a parallel
+/// engine cannot grow its topology mid-round. Size the cluster's
+/// reservation from the membership plan before the cluster is built.
+cluster::ClusterConfig& with_domain_reservations(GroutConfig& cfg) {
+  std::size_t reserve = cfg.elastic_plan.total_joins();
+  if (cfg.autoscale && cfg.autoscale_max_workers > cfg.cluster.workers) {
+    reserve += cfg.autoscale_max_workers - cfg.cluster.workers;
+  }
+  cfg.cluster.reserve_worker_domains += reserve;
+  return cfg.cluster;
 }
+
+/// One array the CE bundle materializes on the worker at delivery time.
+struct EnsureOp {
+  GlobalArrayId id{0};
+  Bytes bytes{0};
+  std::string name;
+  std::optional<uvm::Advise> advise;
+};
+
+/// One inbound copy the CE bundle adopts (Worker::accept_receive) at
+/// delivery time; `arrival` completes in the worker's own event domain.
+struct AdoptOp {
+  GlobalArrayId id{0};
+  gpusim::EventPtr arrival;
+};
+}  // namespace
 
 const char* to_string(MembershipEvent::Kind k) {
   switch (k) {
@@ -23,7 +51,7 @@ const char* to_string(MembershipEvent::Kind k) {
 
 GroutRuntime::GroutRuntime(GroutConfig config)
     : config_{std::move(config)},
-      cluster_{std::make_unique<cluster::Cluster>(config_.cluster)},
+      cluster_{std::make_unique<cluster::Cluster>(with_domain_reservations(config_))},
       directory_{config_.cluster.workers} {
   const bool min_transfer = config_.policy == PolicyKind::MinTransferSize ||
                             config_.policy == PolicyKind::MinTransferTime;
@@ -87,23 +115,13 @@ GroutRuntime::GroutRuntime(GroutConfig config)
 }
 
 void GroutRuntime::autoscale_tick() {
-  // Feed the window: only kernel records that finished since the last tick
-  // (per-GPU cursors), from live workers only — a dead node's history says
-  // nothing about the surviving cluster's pressure.
-  gpu_record_cursor_.resize(cluster_->worker_count());
-  for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
-    gpusim::GpuNode& node = cluster_->worker(w).node();
-    gpu_record_cursor_[w].resize(node.gpu_count(), 0);
-    for (std::size_t g = 0; g < node.gpu_count(); ++g) {
-      const std::vector<gpusim::KernelRecord>& recs = node.gpu(g).records();
-      std::size_t& cursor = gpu_record_cursor_[w][g];
-      if (alive_[w]) {
-        for (; cursor < recs.size(); ++cursor) scaler_->observe(recs[cursor].memory);
-      } else {
-        cursor = recs.size();
-      }
-    }
-  }
+  // Feed the window: the UVM access reports completion acks shipped back
+  // since the last tick (from live workers only — the ack path drops a
+  // dead node's reports, whose history says nothing about the surviving
+  // cluster's pressure). The controller never reads worker-side kernel
+  // records mid-run: those live in the workers' own event domains.
+  for (const uvm::AccessReport& r : autoscale_reports_) scaler_->observe(r);
+  autoscale_reports_.clear();
 
   std::size_t current = 0;
   for (std::size_t w = 0; w < schedulable_.size(); ++w) {
@@ -134,8 +152,12 @@ void GroutRuntime::autoscale_tick() {
   }
   scaler_->reset();
   // Quiescent cluster: disarm instead of keeping the event queue non-empty
-  // forever (dispatch() re-arms on the next CE).
-  if (cluster_->simulator().pending_events() == 0) {
+  // forever (dispatch() re-arms on the next CE). The probe is the
+  // controller's own in-flight accounting — deterministic and local, unlike
+  // peeking at other domains' event queues mid-round.
+  std::uint64_t inflight = 0;
+  for (const auto n : metrics_.inflight) inflight += n;
+  if (inflight == 0) {
     autoscale_armed_ = false;
     return;
   }
@@ -227,11 +249,22 @@ void GroutRuntime::host_init(GlobalArrayId array) {
 void GroutRuntime::advise(GlobalArrayId array, uvm::Advise advise) {
   GROUT_REQUIRE(array < directory_.array_count(), "unknown global array");
   advises_[array] = advise;
+  // Existing replicas get the advise through a reliable command delivered
+  // into each worker's own event domain (the hold-check must run there —
+  // the controller cannot probe worker-local state across domains). Future
+  // replicas pick it up from advises_ when their CE bundle materializes
+  // them.
   for (std::size_t w = 0; w < cluster_->worker_count(); ++w) {
     cluster::Worker& worker = cluster_->worker(w);
-    if (worker.has_array(array)) {
-      worker.node().uvm().advise(worker.local_array(array), advise);
-    }
+    cluster_->fabric().send_command(
+        cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), 0,
+        cluster_->worker_domain(w),
+        [&worker, array, advise] {
+          if (worker.has_array(array)) {
+            worker.node().uvm().advise(worker.local_array(array), advise);
+          }
+        },
+        /*reliable=*/true);
   }
 }
 
@@ -306,23 +339,26 @@ void GroutRuntime::dispatch(dag::VertexId v) {
 
   // 2. Memory governance, then the data movements implied by the placement
   //    (Algorithm 1, last loop). Cold replicas are evicted *before* the
-  //    lazy allocations below so the worker never overshoots its budget;
-  //    the CE's own arrays are then accounted and pinned until completion.
+  //    allocations so the worker never overshoots its budget. The
+  //    controller only updates its own accounting here; the worker-side
+  //    allocations (and advises) are collected into the CE bundle and
+  //    materialize in the worker's event domain at delivery time.
   governor_->make_room(w, params, spec.tenant);
   cluster::Worker& worker = cluster_->worker(w);
+  std::vector<EnsureOp> ensures;
+  ensures.reserve(spec.params.size());
   for (const auto& p : spec.params) {
     const auto id = static_cast<GlobalArrayId>(p.array);
-    const bool fresh = !worker.has_array(id);
-    worker.ensure_array(id, directory_.bytes_of(id), directory_.name_of(id));
-    governor_->note_ensure(w, id);
+    const bool fresh = governor_->note_ensure(w, id);
     governor_->note_use(w, id);
+    EnsureOp op{id, directory_.bytes_of(id), directory_.name_of(id), std::nullopt};
     if (fresh) {
-      if (const auto it = advises_.find(id); it != advises_.end()) {
-        worker.node().uvm().advise(worker.local_array(id), it->second);
-      }
+      if (const auto it = advises_.find(id); it != advises_.end()) op.advise = it->second;
     }
+    ensures.push_back(std::move(op));
   }
   for (const GlobalArrayId id : unique_arrays(spec)) governor_->pin(w, id);
+  std::vector<AdoptOp> adopts;
   for (const PlacementParam& p : params) {
     if (!p.needs_data) continue;
     if (!directory_.holders(p.array).any()) {
@@ -333,20 +369,19 @@ void GroutRuntime::dispatch(dag::VertexId v) {
       recover_array(p.array);
     }
     if (gpusim::EventPtr arrival = plan_movement(p, w)) {
-      // The arrival CE is already ordered inside the worker's Local DAG;
-      // nothing else to wire here.
-      (void)arrival;
+      adopts.push_back(AdoptOp{p.array, std::move(arrival)});
     }
   }
 
-  // 3. Marshal the CE and send it to the worker over the control lane; the
-  //    worker-side execution is gated on the message's arrival. The control
-  //    lane retries dropped attempts with exponential backoff. The wire
+  // 3. Marshal the CE into one ordered command-lane bundle; its delivery
+  //    *is* the arrival gate. The bundle runs in the worker's event domain:
+  //    it materializes the allocations, adopts the inbound copies and
+  //    submits the kernel to the intra-node runtime (Algorithm 2). The lane
+  //    retries dropped attempts with exponential backoff and abandons the
+  //    bundle if the worker dies first (recovery supersedes it). The wire
   //    buffer is a member reused across dispatches (encode_ce resets it; no
   //    nested dispatch survives to this point, so reuse is safe).
   const Bytes message_bytes = net::encode_ce(spec, wire_buffer_);
-  gpusim::EventPtr ce_arrival = cluster_->fabric().send_control(
-      cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), message_bytes);
 
   rec.worker = w;
   const std::uint32_t attempt = ++rec.attempt;
@@ -358,8 +393,8 @@ void GroutRuntime::dispatch(dag::VertexId v) {
   ++metrics_.assignments[w];
   ++metrics_.inflight[w];
 
-  // 4. Forward the CE to the Worker's intra-node runtime (Algorithm 2). The
-  //    directory is updated eagerly so later CEs see this placement.
+  // 4. Eager directory update so later CEs see this placement before the
+  //    bundle lands.
   for (const auto& p : spec.params) {
     if (!uvm::writes(p.mode)) continue;
     const auto id = static_cast<GlobalArrayId>(p.array);
@@ -379,9 +414,43 @@ void GroutRuntime::dispatch(dag::VertexId v) {
           "controller", at, at, spec.tenant);
     }
   }
-  runtime::Submission sub = worker.execute_kernel(spec, std::move(ce_arrival));
-  sub.done->on_complete([this, v, attempt] { on_ce_complete(v, attempt); });
-  track_pending(std::move(sub.done));
+
+  // The worker ships the kernel's UVM access report back in the completion
+  // ack (KernelLaunchSpec::on_record runs in the worker's domain); the
+  // stored rec.spec keeps on_record unset so replays re-bind their own.
+  gpusim::KernelLaunchSpec wire_spec = spec;
+  std::shared_ptr<uvm::AccessReport> report;
+  if (scaler_) {
+    report = std::make_shared<uvm::AccessReport>();
+    wire_spec.on_record = [report](const gpusim::KernelRecord& r) { *report = r.memory; };
+  }
+
+  sim::Engine& engine = cluster_->model_engine();
+  const sim::DomainId ctl = cluster_->controller_domain();
+  const SimTime edge = cluster_->controller_edge(w);
+  cluster_->fabric().send_command(
+      cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), message_bytes,
+      cluster_->worker_domain(w),
+      [this, &worker, &engine, ctl, edge, v, attempt, w, report,
+       wire_spec = std::move(wire_spec), ensures = std::move(ensures),
+       adopts = std::move(adopts)]() mutable {
+        for (const EnsureOp& e : ensures) {
+          worker.ensure_array(e.id, e.bytes, e.name);
+          if (e.advise) worker.node().uvm().advise(worker.local_array(e.id), *e.advise);
+        }
+        for (AdoptOp& a : adopts) worker.accept_receive(a.id, std::move(a.arrival));
+        runtime::Submission sub = worker.execute_kernel(std::move(wire_spec));
+        // The completion acks back to the controller domain one fabric edge
+        // later; the DAG/pin/drain bookkeeping runs there.
+        sub.done->on_complete([this, &engine, ctl, edge, v, attempt, w, report] {
+          engine.schedule_in(ctl, engine.now() + edge, [this, v, attempt, w, report] {
+            if (report && scaler_ && alive_[w]) autoscale_reports_.push_back(*report);
+            on_ce_complete(v, attempt);
+          });
+        });
+      },
+      /*reliable=*/false);
+
   if (spec.tenant != kNoTenant && cluster_->tracer().enabled()) {
     // Serving dispatch decision, tenant-tagged so one shared-cluster trace
     // can be filtered into per-tenant timelines.
@@ -525,26 +594,27 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
   const GlobalArrayId id = param.array;
   if (directory_.up_to_date_on_worker(id, worker)) return nullptr;
 
-  cluster::Worker& dst = cluster_->worker(worker);
   const net::NodeId dst_fid = cluster::Cluster::worker_fabric_id(worker);
+  const sim::DomainId dst_domain = cluster_->worker_domain(worker);
+  const SimTime dst_edge = cluster_->controller_edge(worker);
   const LocationSet& holders = directory_.holders(id);
   // Transfer labels exist only for the tracer; skip the string building on
   // every movement when tracing is off.
   const bool tracing = cluster_->tracer().enabled();
 
-  gpusim::EventPtr transfer_done;
+  gpusim::EventPtr arrival;
   if (holders.controller() &&
       cluster_->fabric().bandwidth(cluster::Cluster::controller_id(), dst_fid).valid()) {
     // Controller holds a current copy and the route is up: direct send
     // (Algorithm 1's scheduledNode.send(param) branch). A copy the
     // controller holds only because of an in-flight spill is not readable
-    // until that spill lands.
-    transfer_done = cluster_->fabric().transfer(cluster::Cluster::controller_id(), dst_fid,
-                                                param.bytes,
-                                                tracing ? "ctl->" + std::to_string(worker) +
-                                                              ":" + directory_.name_of(id)
-                                                        : std::string{},
-                                                governor_->acquire_controller_copy(id));
+    // until that spill lands. The last byte lands inside the destination's
+    // event domain — the CE bundle's adopt waits on it there.
+    arrival = cluster_->fabric().transfer_into(
+        cluster::Cluster::controller_id(), dst_fid, param.bytes, dst_domain, dst_edge,
+        tracing ? "ctl->" + std::to_string(worker) + ":" + directory_.name_of(id)
+                : std::string{},
+        governor_->acquire_controller_copy(id));
     ++metrics_.controller_sends;
   } else {
     // P2P branch: pick the up-to-date worker with the fastest *live* route.
@@ -567,28 +637,54 @@ gpusim::EventPtr GroutRuntime::plan_movement(const PlacementParam& param, std::s
     GROUT_CHECK(found,
                 "required array unreachable: every route from an up-to-date holder "
                 "has zero bandwidth");
-    // The source worker must gather the array to its host memory first
-    // (its local DAG orders this after local writers). The source replica
-    // is pinned until the transfer drains so the governor cannot free the
+    // The source worker gathers the array to its host memory in its *own*
+    // event domain (its local DAG orders the staging after local writers):
+    // a reliable command reaches it one edge later, the staging completion
+    // acks back to the controller, and the controller then puts the bytes
+    // on the wire into the destination's domain. The source replica is
+    // pinned until the last byte lands (the unpin rides an ack deposit
+    // back to the controller domain) so the governor cannot free the
     // allocation out from under the staged read.
     governor_->pin(best, id);
-    runtime::Submission staged = cluster_->worker(best).stage_send(id);
-    transfer_done = cluster_->fabric().transfer(
-        cluster::Cluster::worker_fabric_id(best), dst_fid, param.bytes,
-        tracing ? "p2p" + std::to_string(best) + "->" + std::to_string(worker) + ":" +
-                      directory_.name_of(id)
-                : std::string{},
-        staged.done);
+    arrival = gpusim::make_event();
+    sim::Engine& engine = cluster_->model_engine();
+    net::NetworkFabric& fabric = cluster_->fabric();
+    cluster::Worker& src = cluster_->worker(best);
+    const net::NodeId src_fid = cluster::Cluster::worker_fabric_id(best);
+    const sim::DomainId ctl = cluster_->controller_domain();
+    const SimTime src_edge = cluster_->controller_edge(best);
+    const Bytes bytes = param.bytes;
+    const std::string label = tracing ? "p2p" + std::to_string(best) + "->" +
+                                            std::to_string(worker) + ":" + directory_.name_of(id)
+                                      : std::string{};
     MemoryGovernor* gov = governor_.get();
-    transfer_done->on_complete([gov, best, id] { gov->unpin(best, id); });
+    fabric.send_command(
+        cluster::Cluster::controller_id(), src_fid, 0, cluster_->worker_domain(best),
+        [&src, &engine, &fabric, gov, ctl, src_edge, dst_edge, dst_domain, src_fid, dst_fid, id,
+         bytes, label, arrival, best] {
+          runtime::Submission staged = src.stage_send(id);
+          staged.done->on_complete([&engine, &fabric, gov, ctl, src_edge, dst_edge, dst_domain,
+                                    src_fid, dst_fid, id, bytes, label, arrival, best] {
+            engine.schedule_in(
+                ctl, engine.now() + src_edge,
+                [&engine, &fabric, gov, ctl, dst_edge, dst_domain, src_fid, dst_fid, id, bytes,
+                 label, arrival, best] {
+                  const gpusim::EventPtr wire =
+                      fabric.transfer_into(src_fid, dst_fid, bytes, dst_domain, dst_edge, label);
+                  wire->on_complete([&engine, gov, ctl, dst_edge, id, arrival, best] {
+                    arrival->complete(engine.now());
+                    engine.schedule_in(ctl, engine.now() + dst_edge,
+                                       [gov, id, best] { gov->unpin(best, id); });
+                  });
+                });
+          });
+        },
+        /*reliable=*/true);
     ++metrics_.p2p_sends;
   }
   metrics_.bytes_planned += param.bytes;
-
-  runtime::Submission arrival = dst.accept_receive(id, transfer_done);
-  track_pending(arrival.done);
   directory_.add_worker_copy(id, worker);
-  return arrival.done;
+  return arrival;
 }
 
 bool GroutRuntime::wait_controller_copy(GlobalArrayId array) {
@@ -633,17 +729,43 @@ bool GroutRuntime::host_fetch(GlobalArrayId array) {
               "array unreachable: every route from an up-to-date holder to the "
               "controller has zero bandwidth");
   // Pin the staging source so the governor cannot free the allocation out
-  // from under the host-side gather.
+  // from under the host-side gather. The staging itself runs in the
+  // source's event domain (a reliable command reaches it one edge later),
+  // its completion acks back, and the controller then starts the wire
+  // transfer home — `landed` is the controller-side proxy the event loop
+  // below waits on.
   governor_->pin(best, array);
-  runtime::Submission staged = cluster_->worker(best).stage_send(array);
-  gpusim::EventPtr landed = cluster_->fabric().transfer(
-      cluster::Cluster::worker_fabric_id(best), cluster::Cluster::controller_id(),
-      directory_.bytes_of(array),
-      cluster_->tracer().enabled() ? "fetch:" + directory_.name_of(array) : std::string{},
-      staged.done);
+  const gpusim::EventPtr landed = gpusim::make_event();
   {
+    sim::Engine& engine = cluster_->model_engine();
+    net::NetworkFabric& fabric = cluster_->fabric();
+    cluster::Worker& src = cluster_->worker(best);
+    const net::NodeId src_fid = cluster::Cluster::worker_fabric_id(best);
+    const sim::DomainId ctl = cluster_->controller_domain();
+    const SimTime edge = cluster_->controller_edge(best);
+    const Bytes bytes = directory_.bytes_of(array);
+    const std::string label =
+        cluster_->tracer().enabled() ? "fetch:" + directory_.name_of(array) : std::string{};
     MemoryGovernor* gov = governor_.get();
-    landed->on_complete([gov, best, array] { gov->unpin(best, array); });
+    fabric.send_command(
+        cluster::Cluster::controller_id(), src_fid, 0, cluster_->worker_domain(best),
+        [&src, &engine, &fabric, gov, ctl, edge, src_fid, array, bytes, label, landed, best] {
+          runtime::Submission staged = src.stage_send(array);
+          staged.done->on_complete(
+              [&engine, &fabric, gov, ctl, edge, src_fid, array, bytes, label, landed, best] {
+                engine.schedule_in(
+                    ctl, engine.now() + edge,
+                    [&engine, &fabric, gov, src_fid, array, bytes, label, landed, best] {
+                      const gpusim::EventPtr wire = fabric.transfer(
+                          src_fid, cluster::Cluster::controller_id(), bytes, label);
+                      wire->on_complete([&engine, gov, array, landed, best] {
+                        gov->unpin(best, array);
+                        landed->complete(engine.now());
+                      });
+                    });
+              });
+        },
+        /*reliable=*/true);
   }
 
   // Drive the event loop, but never past the run cap: an unbounded wait

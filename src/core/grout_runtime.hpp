@@ -204,8 +204,13 @@ class GroutRuntime {
   };
 
   /// Plan and wire the transfers needed so `worker` holds `param` (Alg. 1,
-  /// data-movement loop). Returns the arrival event, or nullptr if no
-  /// movement was needed.
+  /// data-movement loop). Returns the network arrival event — it completes
+  /// inside the destination worker's event domain, and the CE bundle adopts
+  /// the copy (Worker::accept_receive) at delivery time — or nullptr if no
+  /// movement was needed. A P2P source stages the array from its own
+  /// domain: a reliable command reaches it one edge later, the staging
+  /// completion acks back, and the controller then starts the wire
+  /// transfer.
   gpusim::EventPtr plan_movement(const PlacementParam& param, std::size_t worker);
 
   /// Place, stage data for, and send the recorded CE `v` to a live worker.
@@ -229,9 +234,11 @@ class GroutRuntime {
   /// last release fires the drain listener from a fresh sim event, so no
   /// polling and no re-entering the event loop from a callback.
   void try_finalize_drain(std::size_t w);
-  /// Periodic --autoscale observation window: feed the new KernelRecords of
-  /// every live worker GPU to the KpiAutoscaler, apply its recommendation
-  /// to the elastic membership, and re-arm the next tick.
+  /// Periodic --autoscale observation window: feed the UVM access reports
+  /// that CE completion acks carried back since the last tick to the
+  /// KpiAutoscaler, apply its recommendation to the elastic membership, and
+  /// re-arm the next tick. The controller never reads worker-side kernel
+  /// records mid-run — workers live in their own event domains.
   void autoscale_tick();
   void record_membership(MembershipEvent::Kind kind, std::size_t w);
   /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
@@ -276,10 +283,10 @@ class GroutRuntime {
   /// input loop is what asked), which single-level replay cannot rebuild.
   std::unordered_set<dag::VertexId> dispatching_;
   std::unique_ptr<net::FaultInjector> injector_;
-  /// --autoscale state: the KPI heuristic plus per-(worker, gpu) cursors
-  /// into Gpu::records() so each observation window feeds only new kernels.
+  /// --autoscale state: the KPI heuristic plus the access reports shipped
+  /// back by CE completion acks since the last tick (drained each window).
   std::unique_ptr<KpiAutoscaler> scaler_;
-  std::vector<std::vector<std::size_t>> gpu_record_cursor_;
+  std::vector<uvm::AccessReport> autoscale_reports_;
   /// Whether the next autoscale tick is scheduled. The tick disarms itself
   /// when the cluster is quiescent (a perpetual tick would keep the event
   /// queue non-empty and synchronize() could never drain it); dispatch()

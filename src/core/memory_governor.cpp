@@ -110,10 +110,10 @@ void MemoryGovernor::make_room(std::size_t w, const std::vector<PlacementParam>&
   }
 }
 
-void MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
+bool MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
   GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
   const auto [it, fresh] = replicas_[w].try_emplace(id);
-  if (!fresh) return;
+  if (!fresh) return false;
   it->second.bytes = directory_.bytes_of(id);
   it->second.last_use = cluster_.simulator().now();
   resident_[w] += it->second.bytes;
@@ -121,6 +121,7 @@ void MemoryGovernor::note_ensure(std::size_t w, GlobalArrayId id) {
   credit_tenant(id, it->second.bytes);
   if (evicted_once_[w].contains(id)) ++metrics_.refetches;
   maybe_arm_sweep(w);
+  return true;
 }
 
 void MemoryGovernor::note_use(std::size_t w, GlobalArrayId id) {
@@ -168,7 +169,13 @@ void MemoryGovernor::enforce(std::size_t w) {
 
 void MemoryGovernor::drop_worker(std::size_t w) {
   GROUT_REQUIRE(w < replicas_.size(), "worker index out of range");
-  cluster_.worker(w).release_all();
+  // Tear-down runs on the worker's own domain, ordered behind any commands
+  // already in flight to it (stale CE bundles, releases). Reliable: the
+  // node being dead is exactly why this must still be delivered.
+  cluster::Worker& worker = cluster_.worker(w);
+  cluster_.fabric().send_command(
+      cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), 0,
+      cluster_.worker_domain(w), [&worker] { worker.release_all(); }, /*reliable=*/true);
   for (const auto& [id, rep] : replicas_[w]) debit_tenant(id, rep.bytes);
   resident_[w] = 0;
   replicas_[w].clear();
@@ -333,9 +340,12 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
   const Replica rep = replicas_[w].at(id);
   const SimTime now = cluster_.simulator().now();
 
-  gpusim::EventPtr free_after;  // nullptr = free the local allocation now
   if (sole_holder) {
-    free_after = spill_to_controller(w, id, rep.bytes);
+    // Stage + write-back first; the worker-side free is chained after the
+    // staging inside the spill command.
+    spill_to_controller(w, id, rep.bytes);
+  } else {
+    post_worker_release(w, id);
   }
   if (directory_.holders(id).worker(w)) {
     directory_.remove_worker_copy(id, w);
@@ -346,7 +356,6 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
     ++metrics_.stale_evictions;
     metrics_.bytes_stale_evicted += rep.bytes;
   }
-  cluster_.worker(w).release_array(id, free_after);
 
   resident_[w] -= rep.bytes;
   debit_tenant(id, rep.bytes);
@@ -364,13 +373,49 @@ void MemoryGovernor::evict(std::size_t w, GlobalArrayId id, bool sole_holder) {
   }
 }
 
+void MemoryGovernor::post_worker_release(std::size_t w, GlobalArrayId id) {
+  cluster::Worker& worker = cluster_.worker(w);
+  cluster_.fabric().send_command(
+      cluster::Cluster::controller_id(), cluster::Cluster::worker_fabric_id(w), 0,
+      cluster_.worker_domain(w), [&worker, id] { worker.release_array(id); },
+      /*reliable=*/true);
+}
+
 gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayId id,
                                                      Bytes bytes) {
   cluster::Worker& worker = cluster_.worker(w);
-  const runtime::Submission staged = worker.stage_send(id);
-  const gpusim::EventPtr landed = cluster_.fabric().transfer(
-      cluster::Cluster::worker_fabric_id(w), cluster::Cluster::controller_id(), bytes,
-      "spill:" + directory_.name_of(id), staged.done);
+  sim::Engine& engine = cluster_.model_engine();
+  net::NetworkFabric& fabric = cluster_.fabric();
+  const sim::DomainId ctl = cluster_.controller_domain();
+  const SimTime edge = cluster_.controller_edge(w);
+  const net::NodeId w_fid = cluster::Cluster::worker_fabric_id(w);
+  const net::NodeId ctl_fid = cluster::Cluster::controller_id();
+  const std::string label = "spill:" + directory_.name_of(id);
+
+  // `landed` stands in for the write-back arrival: the store admits against
+  // it now, and it completes when the controller-started transfer does.
+  const gpusim::EventPtr landed = gpusim::make_event();
+  // Worker side (its own domain): gather the copy to host memory, free the
+  // local allocation once the host copy is consistent, then ack the staging
+  // back to the controller domain one fabric edge later; the controller
+  // pulls the bytes from there. The fabric is never touched from the
+  // worker's domain.
+  fabric.send_command(
+      ctl_fid, w_fid, 0, cluster_.worker_domain(w),
+      [&worker, &engine, &fabric, ctl, edge, w_fid, ctl_fid, id, bytes, label, landed] {
+        const runtime::Submission staged = worker.stage_send(id);
+        worker.release_array(id, staged.done);
+        staged.done->on_complete(
+            [&engine, &fabric, ctl, edge, w_fid, ctl_fid, bytes, label, landed] {
+              engine.schedule_in(ctl, engine.now() + edge, [&engine, &fabric, w_fid, ctl_fid,
+                                                            bytes, label, landed] {
+                const gpusim::EventPtr wire = fabric.transfer(w_fid, ctl_fid, bytes, label);
+                wire->on_complete([&engine, landed] { landed->complete(engine.now()); });
+              });
+            });
+      },
+      /*reliable=*/true);
+
   // Eager directory update (like plan_movement); consumers of the
   // controller copy are ordered after whatever the spill store has in
   // flight for it via acquire_controller_copy().
@@ -392,7 +437,7 @@ gpusim::EventPtr MemoryGovernor::spill_to_controller(std::size_t w, GlobalArrayI
           tp->record(sim::TraceCategory::Eviction, name, loc, begin, simp->now());
         });
   }
-  return staged.done;
+  return landed;
 }
 
 }  // namespace grout::core

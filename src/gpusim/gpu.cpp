@@ -142,6 +142,7 @@ SimTime Gpu::execute_kernel(const KernelLaunchSpec& spec) {
   end += spec_.launch_overhead;
 
   records_.push_back(KernelRecord{spec.name, start, end, compute, mem});
+  if (spec.on_record) spec.on_record(records_.back());
   if (tracer_) {
     tracer_->record(sim::TraceCategory::Kernel, spec.name, location_, start, end, spec.tenant);
     if (mem.fault_time > SimTime::zero()) {

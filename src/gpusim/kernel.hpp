@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,15 @@
 
 namespace grout::gpusim {
 
+/// Outcome of a finished kernel, for traces and tests.
+struct KernelRecord {
+  std::string name;
+  SimTime start;
+  SimTime end;
+  SimTime compute_time;
+  uvm::AccessReport memory;
+};
+
 struct KernelLaunchSpec {
   std::string name;
   double flops{0.0};
@@ -24,15 +34,12 @@ struct KernelLaunchSpec {
   /// Serving tenant that submitted this CE (kNoTenant outside serve runs);
   /// carried through the wire format so worker-side spans stay attributable.
   TenantId tenant{kNoTenant};
-};
-
-/// Outcome of a finished kernel, for traces and tests.
-struct KernelRecord {
-  std::string name;
-  SimTime start;
-  SimTime end;
-  SimTime compute_time;
-  uvm::AccessReport memory;
+  /// Invoked (if set) right after the GPU computes this launch's outcome,
+  /// from the launching node's event domain. The controller attaches it to
+  /// CE bundles so the worker ships the access report back in the
+  /// completion ack instead of the controller reading worker-side records
+  /// across domains. Not part of the wire format.
+  std::function<void(const KernelRecord&)> on_record;
 };
 
 }  // namespace grout::gpusim

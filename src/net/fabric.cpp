@@ -142,6 +142,47 @@ void NetworkFabric::start_transfer(NodeId from, NodeId to, Bytes size, const std
   sim_.schedule_at(end, [done, end] { done->complete(end); });
 }
 
+gpusim::EventPtr NetworkFabric::transfer_into(NodeId from, NodeId to, Bytes size,
+                                              sim::DomainId deliver_domain,
+                                              SimTime min_deliver_delay, std::string label,
+                                              gpusim::EventPtr ready) {
+  node_ref(from);
+  node_ref(to);
+  GROUT_REQUIRE(from != to, "self transfer");
+  gpusim::EventPtr done = gpusim::make_event();
+  if (ready) {
+    ready->on_complete(
+        [this, from, to, size, deliver_domain, min_deliver_delay, label = std::move(label), done] {
+          start_transfer_into(from, to, size, label, done, deliver_domain, min_deliver_delay);
+        });
+  } else {
+    start_transfer_into(from, to, size, label, done, deliver_domain, min_deliver_delay);
+  }
+  return done;
+}
+
+void NetworkFabric::start_transfer_into(NodeId from, NodeId to, Bytes size,
+                                        const std::string& label, const gpusim::EventPtr& done,
+                                        sim::DomainId deliver_domain, SimTime min_deliver_delay) {
+  GROUT_CHECK(bandwidth(from, to).valid(), "bulk transfer scheduled on a zero-bandwidth link");
+  const SimTime begin = sim_.now();
+  const SimTime duration = latency(from, to) + bandwidth(from, to).transfer_time(size);
+  const SimTime tx_done = node_ref(from).tx->submit_duration(duration, size);
+  const SimTime rx_done = node_ref(to).rx->submit_duration(duration, size);
+  // The wire time already dominates the cross-engine edge for any sane NIC
+  // layout; the clamp keeps the delivery legal for exotic configs where the
+  // source NIC undercuts the caller's own link latency.
+  const SimTime end = std::max(std::max(tx_done, rx_done), begin + min_deliver_delay);
+  total_bytes_ += size;
+  ++transfers_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->record(sim::TraceCategory::NetworkTransfer,
+                    label.empty() ? "transfer" : label,
+                    node_ref(from).nic.name + "->" + node_ref(to).nic.name, begin, end);
+  }
+  sim_.schedule_in(deliver_domain, end, [done, end] { done->complete(end); });
+}
+
 gpusim::EventPtr NetworkFabric::send_control(NodeId from, NodeId to, Bytes size) {
   node_ref(from);
   node_ref(to);
@@ -180,6 +221,87 @@ void NetworkFabric::attempt_control(NodeId from, NodeId to, Bytes size,
   const SimTime end =
       sim_.now() + latency(from, to) + control_extra_delay_ + bw.transfer_time(size);
   sim_.schedule_at(end, [done, end] { done->complete(end); });
+}
+
+void NetworkFabric::send_command(NodeId from, NodeId to, Bytes size,
+                                 sim::DomainId deliver_domain, std::function<void()> deliver,
+                                 bool reliable) {
+  node_ref(from);
+  node_ref(to);
+  GROUT_REQUIRE(from != to, "self command");
+  GROUT_REQUIRE(static_cast<bool>(deliver), "null command callback");
+  CommandLane& lane = lanes_[{from, to}];
+  const std::uint64_t seq = lane.next_send++;
+  CommandArrival arrival;
+  arrival.domain = deliver_domain;
+  arrival.deliver = std::move(deliver);
+  if (reliable) {
+    // Internal cluster operation: never dropped, delivered even when an
+    // endpoint is dead (tear-down must reach the worker model), pays the
+    // raw link latency.
+    arrival.resolved = true;
+    arrival.end = sim_.now() + latency(from, to);
+    lane.arrivals.emplace(seq, std::move(arrival));
+    flush_lane(from, to);
+    return;
+  }
+  ++control_sends_;
+  lane.arrivals.emplace(seq, std::move(arrival));
+  attempt_command(from, to, size, seq, retry_.timeout);
+}
+
+void NetworkFabric::attempt_command(NodeId from, NodeId to, Bytes size, std::uint64_t seq,
+                                    SimTime timeout) {
+  CommandLane& lane = lanes_[{from, to}];
+  CommandArrival& arrival = lane.arrivals.at(seq);
+  if (!node_ref(from).alive || !node_ref(to).alive) {
+    // An endpoint died: abandon the command but free its lane slot so
+    // later commands still deliver in order.
+    ++control_abandoned_;
+    arrival.resolved = true;
+    arrival.skipped = true;
+    arrival.deliver = nullptr;
+    flush_lane(from, to);
+    return;
+  }
+  const Bandwidth bw = bandwidth(from, to);
+  const bool dropped = (control_fault_hook_ && control_fault_hook_(from, to)) || !bw.valid();
+  if (dropped) {
+    ++control_drops_;
+    sim_.schedule_after(timeout, [this, from, to, size, seq, timeout] {
+      ++control_timeouts_;
+      ++control_retries_;
+      const auto next_ns =
+          static_cast<std::int64_t>(static_cast<double>(timeout.ns()) * retry_.backoff);
+      attempt_command(from, to, size, seq,
+                      std::min(SimTime::from_ns(next_ns), retry_.max_timeout));
+    });
+    return;
+  }
+  total_bytes_ += size;
+  arrival.resolved = true;
+  arrival.end = sim_.now() + latency(from, to) + control_extra_delay_ + bw.transfer_time(size);
+  flush_lane(from, to);
+}
+
+void NetworkFabric::flush_lane(NodeId from, NodeId to) {
+  CommandLane& lane = lanes_[{from, to}];
+  while (true) {
+    const auto it = lane.arrivals.find(lane.next_deliver);
+    if (it == lane.arrivals.end() || !it->second.resolved) return;
+    CommandArrival arrival = std::move(it->second);
+    lane.arrivals.erase(it);
+    ++lane.next_deliver;
+    if (arrival.skipped) continue;
+    // In-order delivery: never behind the previous command on this lane,
+    // and never below the cross-domain lookahead from the event doing the
+    // flushing — an abandoned blocker can release queued older arrivals at
+    // a later event time than when they landed on the wire.
+    const SimTime t =
+        std::max({arrival.end, lane.last_delivery, sim_.now() + latency(from, to)});
+    lane.last_delivery = t;
+    sim_.schedule_in(arrival.domain, t, std::move(arrival.deliver));
+  }
 }
 
 Bytes NetworkFabric::bytes_sent_by(NodeId node) const { return node_ref(node).tx->bytes_moved(); }

@@ -88,9 +88,21 @@ class NetworkFabric {
   void set_link_override(NodeId a, NodeId b, Bandwidth bw);
 
   /// Start a transfer when `ready` completes (nullptr = immediately);
-  /// the returned event completes when the last byte lands.
+  /// the returned event completes when the last byte lands, in the
+  /// caller's event domain.
   gpusim::EventPtr transfer(NodeId from, NodeId to, Bytes size, std::string label = {},
                             gpusim::EventPtr ready = nullptr);
+
+  /// Like `transfer`, but the completion event fires *inside*
+  /// `deliver_domain` — the receiving model's event domain — so waiters
+  /// (e.g. a worker stream adopting the copy) resume on their own domain.
+  /// The delivery is clamped to at least `min_deliver_delay` past the
+  /// start-time (the caller passes the engine-edge lookahead between its
+  /// domain and `deliver_domain`; a transfer's duration already covers it
+  /// whenever the source NIC is no faster than the caller's own).
+  gpusim::EventPtr transfer_into(NodeId from, NodeId to, Bytes size,
+                                 sim::DomainId deliver_domain, SimTime min_deliver_delay,
+                                 std::string label = {}, gpusim::EventPtr ready = nullptr);
 
   /// Small control message (CE descriptors, acks): rides a prioritized QoS
   /// lane, so it pays latency + serialization but does not queue behind
@@ -99,6 +111,24 @@ class NetworkFabric {
   /// exponential backoff. Returns the arrival event; it never fires when an
   /// endpoint dies first (the runtime's recovery supersedes the CE then).
   gpusim::EventPtr send_control(NodeId from, NodeId to, Bytes size);
+
+  /// Ordered command lane: commands from `from` to `to` deliver in send
+  /// order (a per-pair FIFO), each as an event scheduled into
+  /// `deliver_domain` — the receiving model's event domain — no earlier
+  /// than the link latency allows. Two flavors:
+  ///   - droppable (`reliable = false`): CE bundles; shares the control
+  ///     lane's fault hook, timeout/backoff retries and liveness semantics
+  ///     (an abandoned command skips its slot so later commands still
+  ///     deliver, in order);
+  ///   - reliable (`reliable = true`): internal cluster operations
+  ///     (eviction, staging, releases); never dropped, delivered even when
+  ///     an endpoint is dead — tear-down must reach the worker model
+  ///     unconditionally.
+  /// Must be called from controller-side (domain 0) execution: the fabric's
+  /// state is owned by domain 0, and the in-order guarantee is per
+  /// (from, to) pair.
+  void send_command(NodeId from, NodeId to, Bytes size, sim::DomainId deliver_domain,
+                    std::function<void()> deliver, bool reliable);
 
   void set_control_retry(ControlRetryConfig config) { retry_ = config; }
 
@@ -134,10 +164,32 @@ class NetworkFabric {
     bool alive{true};
   };
 
+  /// One in-flight (or resolved) slot of a command lane. A droppable
+  /// command occupies its slot unresolved until the retry loop either lands
+  /// it (`end` set) or abandons it (`skipped`); later slots queue behind.
+  struct CommandArrival {
+    bool resolved{false};
+    bool skipped{false};
+    SimTime end{SimTime::zero()};
+    sim::DomainId domain{sim::kMainDomain};
+    std::function<void()> deliver;
+  };
+  struct CommandLane {
+    std::uint64_t next_send{0};
+    std::uint64_t next_deliver{0};
+    SimTime last_delivery{SimTime::zero()};
+    std::map<std::uint64_t, CommandArrival> arrivals;
+  };
+
   void start_transfer(NodeId from, NodeId to, Bytes size, const std::string& label,
                       const gpusim::EventPtr& done);
+  void start_transfer_into(NodeId from, NodeId to, Bytes size, const std::string& label,
+                           const gpusim::EventPtr& done, sim::DomainId deliver_domain,
+                           SimTime min_deliver_delay);
   void attempt_control(NodeId from, NodeId to, Bytes size, const gpusim::EventPtr& done,
                        SimTime timeout);
+  void attempt_command(NodeId from, NodeId to, Bytes size, std::uint64_t seq, SimTime timeout);
+  void flush_lane(NodeId from, NodeId to);
   void rebuild_matrix() const;
   const Node& node_ref(NodeId id) const;
   Node& node_ref(NodeId id);
@@ -150,6 +202,7 @@ class NetworkFabric {
   /// kill_node, rebuilt on the next query (`mutable`: queries are const).
   mutable std::vector<double> bps_matrix_;
   mutable bool matrix_dirty_{true};
+  std::map<std::pair<NodeId, NodeId>, CommandLane> lanes_;
   ControlRetryConfig retry_;
   std::function<bool(NodeId, NodeId)> control_fault_hook_;
   SimTime control_extra_delay_{SimTime::zero()};

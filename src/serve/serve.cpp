@@ -123,6 +123,7 @@ void ServeScheduler::schedule_next_arrival(std::size_t t) {
 void ServeScheduler::submit(std::size_t t) {
   Tenant& tenant = tenants_[t];
   GROUT_REQUIRE(tenant.submitted < tenant.spec.programs, "arrival past program count");
+  last_progress_ = simulator().now();
   auto p = std::make_unique<Program>();
   p->tenant = t;
   p->seq = tenant.submitted++;
@@ -277,6 +278,7 @@ void ServeScheduler::launch_next_ce(Tenant& tenant) {
 void ServeScheduler::on_ce_complete(Program* p) {
   GROUT_CHECK(outstanding_ces_ > 0, "CE completion with none outstanding");
   --outstanding_ces_;
+  last_progress_ = simulator().now();
   Tenant& tenant = tenants_[p->tenant];
   const auto tid = static_cast<TenantId>(p->tenant);
   tenant.peak_resident = std::max(tenant.peak_resident, runtime_.governor().tenant_resident(tid));
@@ -348,7 +350,7 @@ void ServeScheduler::start() {
 
 ServeReport ServeScheduler::finalize(bool queue_drained) {
   ServeReport report;
-  report.elapsed = simulator().now();
+  report.elapsed = last_progress_;
   std::size_t still_waiting = 0;
   for (Tenant& t : tenants_) still_waiting += t.waiting.size();
   report.drained = queue_drained && programs_in_flight_ == 0 && still_waiting == 0;

@@ -224,6 +224,12 @@ class ServeScheduler {
   Bytes active_footprint_{0};
   std::size_t programs_in_flight_{0};
   bool pump_scheduled_{false};
+  /// Time of the last serve-observable event (arrival or CE completion):
+  /// what ServeReport::elapsed reports. The engine clock at finalize is not
+  /// usable for this — with per-worker event domains the globally last
+  /// event may be worker-side housekeeping, and a shared-engine view's
+  /// clock reads differently from a dedicated run's.
+  SimTime last_progress_{SimTime::zero()};
 };
 
 }  // namespace grout::serve

@@ -1,11 +1,17 @@
 // Serial discrete-event engine.
 //
-// Single-threaded and deterministic: events scheduled for the same
-// timestamp fire in submission order (a monotone sequence number breaks
-// ties). All simulated subsystems (GPUs, UVM, network, cluster nodes) hang
-// off one Engine instance; this is the default backend — see
-// sim/engine.hpp for the interface and sim/parallel_sim.hpp for the
-// multi-threaded one.
+// Single-threaded and deterministic. Events carry the same canonical key
+// as the parallel engine — (time, origin domain, per-origin sequence
+// number) — and one global heap merges all domains in exactly that order.
+// Per-domain sequence counters are allocated by the same rule as
+// sim::ParallelSimulator (inside execution the event is originated by the
+// executing domain; outside execution it is self-originated in its target
+// domain), so any model that runs correctly on the parallel engine
+// executes bit-identically here, and a model whose events all live in
+// domain 0 degenerates to the historical (time, seq) submission order.
+// All simulated subsystems (GPUs, UVM, network, cluster nodes) hang off
+// one Engine instance; this is the default backend — see sim/engine.hpp
+// for the interface and sim/parallel_sim.hpp for the multi-threaded one.
 #pragma once
 
 #include <cstdint>
@@ -38,30 +44,47 @@ class Simulator final : public Engine {
     return heap_.empty() ? SimTime::max() : heap_.front().time;
   }
 
-  [[nodiscard]] DomainId current_domain() const override { return kMainDomain; }
-  [[nodiscard]] std::size_t domain_count() const override { return 1; }
+  /// Domain the currently executing event targets; kMainDomain outside
+  /// event execution — matching the parallel engine's ExecContext.
+  [[nodiscard]] DomainId current_domain() const override {
+    return executing_ ? exec_domain_ : kMainDomain;
+  }
+  /// Domains touched so far (as a scheduling origin or target). The serial
+  /// engine needs no topology declaration: scheduling into a fresh domain
+  /// id lazily creates its sequence counter.
+  [[nodiscard]] std::size_t domain_count() const override {
+    return next_seq_.empty() ? 1 : next_seq_.size();
+  }
   [[nodiscard]] std::size_t threads() const override { return 1; }
 
  private:
   struct Event {
     SimTime time;
-    std::uint64_t seq;
+    DomainId origin;
+    std::uint64_t origin_seq;
+    DomainId target;
     Callback fn;
   };
   // std::push_heap/pop_heap build a max-heap, so "later fires last" means
-  // the comparator orders by *later* (time, seq): the heap front is the
+  // the comparator orders by *later* canonical key: the heap front is the
   // earliest event. An explicit vector (instead of std::priority_queue)
   // lets pop_heap move the callback out of the element legitimately.
+  // Must stay identical to ParallelSimulator::LaterKey.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.origin_seq > b.origin_seq;
     }
   };
 
+  std::uint64_t& seq_counter(DomainId d);
+
   SimTime now_{SimTime::zero()};
-  std::uint64_t next_seq_{0};
+  bool executing_{false};
+  DomainId exec_domain_{kMainDomain};
   std::uint64_t executed_{0};
+  std::vector<std::uint64_t> next_seq_;  ///< per-domain sequence allocators
   std::vector<Event> heap_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -61,13 +62,42 @@ void Tracer::record(TraceCategory category, std::string name, std::string locati
                     SimTime begin, SimTime end, TenantId tenant) {
   if (!enabled_) return;
   GROUT_REQUIRE(end >= begin, "trace span ends before it begins");
+  const std::scoped_lock lock(mu_);
   spans_.push_back(
       TraceSpan{category, std::move(name), std::move(location), begin, end, tenant});
+  sorted_ = false;
+}
+
+const std::vector<TraceSpan>& Tracer::spans() const {
+  const std::scoped_lock lock(mu_);
+  if (!sorted_) {
+    // Canonical content order: full-field lexicographic sort. Two runs that
+    // record the same multiset of spans (serial vs parallel) present the
+    // identical vector regardless of recording interleaving.
+    std::sort(spans_.begin(), spans_.end(), [](const TraceSpan& a, const TraceSpan& b) {
+      if (a.begin != b.begin) return a.begin < b.begin;
+      if (a.end != b.end) return a.end < b.end;
+      if (a.category != b.category) {
+        return static_cast<std::uint8_t>(a.category) < static_cast<std::uint8_t>(b.category);
+      }
+      if (a.name != b.name) return a.name < b.name;
+      if (a.location != b.location) return a.location < b.location;
+      return a.tenant < b.tenant;
+    });
+    sorted_ = true;
+  }
+  return spans_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mu_);
+  spans_.clear();
+  sorted_ = true;
 }
 
 std::map<TraceCategory, SimTime> Tracer::totals_by_category() const {
   std::map<TraceCategory, SimTime> totals;
-  for (const auto& s : spans_) {
+  for (const auto& s : spans()) {
     totals[s.category] += s.end - s.begin;
   }
   return totals;
@@ -77,7 +107,7 @@ std::string Tracer::to_chrome_json() const {
   std::ostringstream os;
   os << "[";
   bool first = true;
-  for (const auto& s : spans_) {
+  for (const auto& s : spans()) {
     if (!first) os << ",";
     first = false;
     os << "\n  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \"" << to_string(s.category)

@@ -3,10 +3,18 @@
 // Every interesting span (kernel, migration, network transfer, scheduling
 // decision) can be recorded; benches aggregate per-category totals and tests
 // assert on ordering properties.
+//
+// Under the parallel engine spans are recorded concurrently from several
+// domains, so `record` is thread-safe and `spans()` presents a *canonical*
+// order: spans sorted by full content (begin, end, category, name,
+// location, tenant). Serial and parallel runs of the same model record the
+// same multiset of spans, hence identical canonical vectors — the ordering
+// half of the bit-identicality contract.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +50,7 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Thread-safe: domains executing concurrently may record interleaved.
   void record(TraceCategory category, std::string name, std::string location, SimTime begin,
               SimTime end);
   /// Tenant-tagged overload: span carries the submitting tenant's id so
@@ -49,8 +58,10 @@ class Tracer {
   void record(TraceCategory category, std::string name, std::string location, SimTime begin,
               SimTime end, TenantId tenant);
 
-  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  /// Spans in canonical content order (sorted lazily, cached until the
+  /// next record/clear). Not safe to call while domains are executing.
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const;
+  void clear();
 
   /// Total busy time per category (spans may overlap; this is a plain sum).
   [[nodiscard]] std::map<TraceCategory, SimTime> totals_by_category() const;
@@ -60,7 +71,9 @@ class Tracer {
 
  private:
   bool enabled_{false};
-  std::vector<TraceSpan> spans_;
+  mutable std::mutex mu_;
+  mutable bool sorted_{true};
+  mutable std::vector<TraceSpan> spans_;
 };
 
 }  // namespace grout::sim

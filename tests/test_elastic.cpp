@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "cluster/elastic.hpp"
 #include "core/grout_runtime.hpp"
+#include "sim/parallel_sim.hpp"
 
 namespace grout {
 namespace {
@@ -301,6 +304,127 @@ TEST(ElasticAcceptanceTest, MidRunJoinStrictlyReducesOversubscribedMakespan) {
   const double without = elastic_makespan(/*join=*/false);
   const double with = elastic_makespan(/*join=*/true);
   EXPECT_LT(with, without);
+}
+
+// ---------------------------------------------------------------------------
+// Domain lifecycle under elastic membership (parallel engine)
+// ---------------------------------------------------------------------------
+
+// A hot-join fired by the elastic plan executes inside event execution,
+// mid-round: the joiner must come up on one of the domains pre-reserved at
+// construction (the engine cannot grow its topology while domains run),
+// linked to the controller domain, and actually schedulable — CEs placed
+// on it execute inside its own domain, not on domain 0.
+TEST(DomainLifecycleTest, PlanJoinCreatesASchedulableDomainMidRound) {
+  GroutConfig cfg = small_config();
+  cfg.cluster.sim_threads = 4;
+  cfg.elastic_plan = cluster::ElasticPlan::parse("join@t=0.5s:1");
+  GroutRuntime rt(cfg);
+  auto& psim = dynamic_cast<sim::ParallelSimulator&>(rt.cluster().simulator());
+  // Controller + two startup workers + the reserved slot for the joiner.
+  EXPECT_EQ(psim.domain_count(), 4u);
+
+  const GlobalArrayId a = rt.alloc(2_MiB, "a");
+  rt.host_init(a);
+  ASSERT_TRUE(rt.synchronize());  // drives past t=0.5s: the join fires mid-drive
+  ASSERT_EQ(rt.cluster().worker_count(), 3u);
+  EXPECT_TRUE(rt.worker_alive(2));
+  // The joiner's reserved domain (worker w lives in domain 1 + w) is now
+  // linked: reachable from the controller domain with finite lookahead.
+  EXPECT_NE(psim.min_path_delay(0, 3), SimTime::max());
+  EXPECT_NE(psim.min_path_delay(3, 0), SimTime::max());
+
+  std::vector<std::size_t> placed;
+  for (int i = 0; i < 3; ++i) {
+    placed.push_back(
+        rt.launch(kernel("k" + std::to_string(i), {{a, uvm::AccessMode::Read}})).worker);
+  }
+  ASSERT_TRUE(rt.synchronize());
+  EXPECT_NE(std::find(placed.begin(), placed.end(), 2u), placed.end());
+  EXPECT_GT(psim.domain_executed_events(3), 0u);
+}
+
+// A drained worker's domain must quiesce: once the drain finalizes and the
+// spill-out lands, nothing is pending in its domain — and new work leaves
+// it untouched while the other workers' domains fill up.
+TEST(DomainLifecycleTest, DrainQuiescesTheWorkersDomain) {
+  GroutConfig cfg = small_config(PolicyKind::RoundRobin, 3);
+  cfg.cluster.sim_threads = 4;
+  GroutRuntime rt(cfg);
+  auto& psim = dynamic_cast<sim::ParallelSimulator&>(rt.cluster().simulator());
+  const GlobalArrayId a = rt.alloc(2_MiB, "a");
+  const GlobalArrayId b = rt.alloc(2_MiB, "b");
+  rt.host_init(a);
+  rt.host_init(b);
+  (void)rt.launch(kernel("wa", {{a, uvm::AccessMode::Write}}));
+  ASSERT_TRUE(rt.synchronize());
+
+  rt.drain_worker(0);
+  ASSERT_TRUE(rt.synchronize());  // the migrate-out spill drains
+  EXPECT_TRUE(rt.worker_drained(0));
+  EXPECT_EQ(psim.domain_pending_events(1), 0u);  // worker 0 lives in domain 1
+
+  // New CEs route around the drained worker: its domain stays empty while
+  // the dispatch bundles land in the live workers' domains.
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t w =
+        rt.launch(kernel("post" + std::to_string(i), {{b, uvm::AccessMode::Read}})).worker;
+    EXPECT_NE(w, 0u);
+  }
+  EXPECT_EQ(psim.domain_pending_events(1), 0u);
+  ASSERT_TRUE(rt.synchronize());
+  EXPECT_EQ(psim.domain_pending_events(1), 0u);
+}
+
+// A worker death while CE acks and replica state are in flight across
+// domains must neither lose nor duplicate events: the parallel run's
+// placements, trace-span order, recovery metrics and surviving data must
+// match the serial run's exactly.
+TEST(DomainLifecycleTest, DeathWithInFlightCrossDomainDepositsLosesNothing) {
+  struct Outcome {
+    core::SchedulerMetrics metrics;
+    std::vector<std::string> trace_names;
+  };
+  const auto play = [](std::size_t threads) {
+    GroutConfig cfg = small_config(PolicyKind::RoundRobin, 3);
+    cfg.cluster.sim_threads = threads;
+    cfg.cluster.trace = true;
+    // ~0.4 s of CE work per launch is in flight when the kill fires.
+    cfg.fault_plan.kills.push_back(net::KillWorkerFault{0, SimTime::from_seconds(0.3)});
+    GroutRuntime rt(cfg);
+    std::vector<GlobalArrayId> arrays;
+    for (int i = 0; i < 4; ++i) {
+      arrays.push_back(rt.alloc(2_MiB, "a" + std::to_string(i)));
+      rt.host_init(arrays.back());
+    }
+    // Write-only producers: the lineage-recoverable set (a kill may take a
+    // sole copy with it, and replay must rebuild it exactly once).
+    for (int i = 0; i < 8; ++i) {
+      (void)rt.launch(
+          kernel("w" + std::to_string(i), {{arrays[i % 4], uvm::AccessMode::Write}}, 5e12));
+    }
+    EXPECT_TRUE(rt.synchronize());
+    EXPECT_FALSE(rt.worker_alive(0));
+    for (const GlobalArrayId id : arrays) EXPECT_TRUE(rt.host_fetch(id));
+    Outcome out;
+    out.metrics = rt.metrics();
+    for (const sim::TraceSpan& span : rt.cluster().tracer().spans()) {
+      out.trace_names.push_back(span.name);
+    }
+    return out;
+  };
+  const Outcome serial = play(1);
+  const Outcome parallel = play(4);
+  EXPECT_EQ(serial.trace_names, parallel.trace_names);
+  EXPECT_EQ(serial.metrics.ces_scheduled, parallel.metrics.ces_scheduled);
+  EXPECT_EQ(serial.metrics.ces_replayed, parallel.metrics.ces_replayed);
+  EXPECT_EQ(serial.metrics.ces_rescheduled, parallel.metrics.ces_rescheduled);
+  EXPECT_EQ(serial.metrics.worker_deaths, parallel.metrics.worker_deaths);
+  EXPECT_EQ(serial.metrics.arrays_recovered, parallel.metrics.arrays_recovered);
+  EXPECT_EQ(serial.metrics.control_drops, parallel.metrics.control_drops);
+  EXPECT_EQ(serial.metrics.assignments, parallel.metrics.assignments);
+  EXPECT_EQ(serial.metrics.worker_deaths, 1u);
+  EXPECT_GT(serial.metrics.ces_scheduled, 8u);  // the kill forced re-dispatches
 }
 
 }  // namespace

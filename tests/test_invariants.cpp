@@ -449,5 +449,67 @@ TEST(ParallelDifferentialTest, InvariantsHoldUnderParallelEngine) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Policy x thread-count differential grid
+// ---------------------------------------------------------------------------
+
+// One scenario seed per placement policy (seed % 6 selects the policy),
+// chosen so the grid also covers every orthogonal machinery axis at least
+// once: tiered spill (seed % 3 == 2 -> 2, 5), worker death (seed % 5 == 0
+// -> 0, 15, 10, 5), and multi-tenant Zipf contention (seed % 3 == 1 -> 7,
+// 10). Elastic joins and drains roll inside every scenario's action mix
+// and land in the compared membership log.
+constexpr std::uint64_t kGridSeeds[6] = {0, 7, 2, 15, 10, 5};
+
+struct GridCell {
+  std::size_t policy;   ///< index into kPolicies / kGridSeeds
+  std::size_t threads;  ///< cluster sim_threads for the candidate run
+};
+
+std::string grid_label(const ::testing::TestParamInfo<GridCell>& info) {
+  static constexpr const char* kNames[6] = {"RoundRobin",      "VectorStep", "MinTransferSize",
+                                            "MinTransferTime", "Random",     "LeastOutstanding"};
+  return std::string(kNames[info.param.policy]) + "x" + std::to_string(info.param.threads) + "t";
+}
+
+std::vector<GridCell> grid_cells() {
+  std::vector<GridCell> cells;
+  for (std::size_t p = 0; p < 6; ++p) {
+    for (const std::size_t t : {1, 2, 3, 4}) cells.push_back({p, t});
+  }
+  return cells;
+}
+
+class ParallelDifferentialGrid : public ::testing::TestWithParam<GridCell> {};
+
+// Every cell runs its policy's scenario on the serial engine and on the
+// parallel engine at the cell's thread count, and the outcomes must be
+// bit-identical. Tier-1 runs the {2, 4}-thread cells on one seed each;
+// nightly (GROUT_FUZZ_SEEDS set, the same switch as the seed sweep) opens
+// the full {1, 2, 3, 4} thread grid and deepens each cell to four seeds
+// (stride 6 keeps the policy fixed while rolling the spill / kill /
+// contention axes underneath it).
+TEST_P(ParallelDifferentialGrid, MatchesSerialBaseline) {
+  const GridCell cell = GetParam();
+  const bool nightly = std::getenv("GROUT_FUZZ_SEEDS") != nullptr;
+  if (!nightly && cell.threads != 2 && cell.threads != 4) {
+    GTEST_SKIP() << "full-grid cell: nightly only (set GROUT_FUZZ_SEEDS)";
+  }
+  const std::size_t depth = nightly ? 4 : 1;
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::uint64_t seed = kGridSeeds[cell.policy] + 6 * i;
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " threads=" + std::to_string(cell.threads));
+    const ScenarioOutcome serial =
+        run_scenario(seed, /*check=*/false, /*trace=*/true, /*sim_threads=*/1);
+    const ScenarioOutcome parallel =
+        run_scenario(seed, /*check=*/false, /*trace=*/true, cell.threads);
+    expect_identical_outcomes(serial, parallel);
+    if (::testing::Test::HasFailure()) break;  // one seed's diff is enough
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyByThreads, ParallelDifferentialGrid,
+                         ::testing::ValuesIn(grid_cells()), grid_label);
+
 }  // namespace
 }  // namespace grout

@@ -151,6 +151,13 @@ struct GovernorRig {
     return id;
   }
 
+  /// Deliver posted worker-side commands. Governor accounting updates at
+  /// enforce() time on the controller, but the release itself rides a
+  /// reliable fabric command into the worker's domain, so worker-visible
+  /// state (has_array, live UVM allocations) only changes once the engine
+  /// delivers it.
+  void settle() { cluster.simulator().run_until(SimTime::max()); }
+
   cluster::Cluster cluster;
   CoherenceDirectory directory;
   SchedulerMetrics metrics;
@@ -167,6 +174,7 @@ TEST(GovernorVictims, StaleReplicasGoBeforeHolders) {
   ASSERT_EQ(rig.governor.resident_bytes(0), 4_MiB);
 
   rig.governor.enforce(0);
+  rig.settle();
   EXPECT_EQ(rig.governor.resident_bytes(0), 2_MiB);
   EXPECT_FALSE(rig.cluster.worker(0).has_array(stale));
   EXPECT_TRUE(rig.cluster.worker(0).has_array(held));
@@ -186,6 +194,7 @@ TEST(GovernorVictims, LruBreaksCostTies) {
   ASSERT_LT(SimTime::zero(), rig.cluster.simulator().now());
 
   rig.governor.enforce(0);  // both stale, equal cost: LRU decides
+  rig.settle();
   EXPECT_FALSE(rig.cluster.worker(0).has_array(older));
   EXPECT_TRUE(rig.cluster.worker(0).has_array(newer));
 }
@@ -195,6 +204,7 @@ TEST(GovernorVictims, ArrayIdBreaksFullTies) {
   const GlobalArrayId first = rig.add(0, 2_MiB, "first");
   const GlobalArrayId second = rig.add(0, 2_MiB, "second");  // same time, same cost
   rig.governor.enforce(0);
+  rig.settle();
   EXPECT_FALSE(rig.cluster.worker(0).has_array(first));
   EXPECT_TRUE(rig.cluster.worker(0).has_array(second));
   (void)first;
@@ -211,6 +221,7 @@ TEST(GovernorVictims, PinnedReplicasAreUntouchable) {
 
   rig.governor.unpin(0, a);
   rig.governor.enforce(0);
+  rig.settle();
   EXPECT_FALSE(rig.cluster.worker(0).has_array(a));
   EXPECT_EQ(rig.metrics.evictions, 1u);
 }
@@ -255,6 +266,7 @@ TEST(GovernorVictims, RefetchAfterEvictionIsCounted) {
   const GlobalArrayId a = rig.add(0, 2_MiB, "a");
   rig.add(0, 2_MiB, "b");
   rig.governor.enforce(0);  // evicts `a` (id tiebreak)
+  rig.settle();
   ASSERT_FALSE(rig.cluster.worker(0).has_array(a));
 
   rig.cluster.worker(0).ensure_array(a, 2_MiB, "a");

@@ -324,6 +324,89 @@ TEST(ParallelSimMailbox, RoundTripReplyCannotArriveBehindTheClock) {
   EXPECT_EQ(log, want);
 }
 
+// The migration-service chain from the runtime's P2P path, reduced to the
+// engine: the controller (0) posts a staging command to the source (1);
+// the source's staging-done reply returns to the controller, which starts
+// the wire transfer whose arrival completes inside the destination (2).
+// Each domain holds pre-scheduled local work dated after the deposit it
+// will receive, and none of it may execute before that deposit lands —
+// the dynamic bound must shrink hop by hop across the three-domain chain,
+// not just across one link.
+TEST(ParallelSimMailbox, MigrationServiceRoundTripOrdersAcrossThreeDomains) {
+  ParallelSimulator sim(cfg(4, 3));
+  const SimTime e = SimTime::from_us(10.0);
+  sim.add_link(0, 1, e);
+  sim.add_link(0, 2, e);
+  sim.add_link(1, 2, e);
+  std::vector<std::pair<DomainId, std::string>> log;
+  // Local work dated after each hop's arrival (horizon math alone would
+  // let it run early; only the deposit-time bound shrink holds it back).
+  sim.schedule_in(1, SimTime::from_us(15.0), [&] { log.emplace_back(1, "src-local"); });
+  sim.schedule_in(0, SimTime::from_us(25.0), [&] { log.emplace_back(0, "ctl-local"); });
+  sim.schedule_in(2, SimTime::from_us(35.0), [&] { log.emplace_back(2, "dst-local"); });
+  sim.schedule_in(0, SimTime::zero(), [&] {
+    log.emplace_back(0, "plan");
+    sim.schedule_in(1, sim.now() + e, [&] {  // the staging command, t=10
+      log.emplace_back(1, "stage");
+      sim.schedule_in(0, sim.now() + e, [&] {  // staged ack, t=20
+        log.emplace_back(0, "staged-ack");
+        sim.schedule_in(2, sim.now() + e, [&] {  // wire arrival, t=30
+          log.emplace_back(2, "arrival");
+        });
+      });
+    });
+  });
+  sim.run();
+  // The deposit chain keeps exactly one domain active per round, so the
+  // shared log's global order is deterministic (and time-sorted here).
+  const std::vector<std::pair<DomainId, std::string>> want{
+      {0, "plan"},        // t=0
+      {1, "stage"},       // t=10
+      {1, "src-local"},   // t=15: after the command landed
+      {0, "staged-ack"},  // t=20
+      {0, "ctl-local"},   // t=25: after the ack landed
+      {2, "arrival"},     // t=30
+      {2, "dst-local"},   // t=35: after the transfer landed
+  };
+  EXPECT_EQ(log, want);
+}
+
+// The background-sweep chain from the tiered spill store: the controller
+// (0) posts a sweep command to the worker (1); the worker runs its local
+// eviction scan and deposits the spill-landed reply back. The next
+// controller-side watermark check, dated after the reply, must not run
+// until the reply has landed — even though the controller's static
+// horizon is unbounded once the worker's heap runs dry.
+TEST(ParallelSimMailbox, BackgroundSweepReplyGatesTheNextWatermarkCheck) {
+  ParallelSimulator sim(cfg(2, 2));
+  const SimTime e = SimTime::from_us(10.0);
+  sim.add_link(0, 1, e);
+  std::vector<std::pair<DomainId, SimTime>> log;
+  sim.schedule_in(0, SimTime::zero(), [&] {
+    log.emplace_back(0, sim.now());
+    sim.schedule_in(1, sim.now() + e, [&] {  // the sweep command, t=10
+      log.emplace_back(1, sim.now());
+      sim.schedule_after(SimTime::from_us(3.0), [&] {  // local eviction scan, t=13
+        log.emplace_back(1, sim.now());
+        sim.schedule_in(0, sim.now() + e, [&] {  // spill landed, t=23
+          log.emplace_back(0, sim.now());
+        });
+      });
+    });
+  });
+  // The next watermark check, already on the controller's heap.
+  sim.schedule_in(0, SimTime::from_us(30.0), [&] { log.emplace_back(0, sim.now()); });
+  sim.run();
+  const std::vector<std::pair<DomainId, SimTime>> want{
+      {0, SimTime::zero()},
+      {1, SimTime::from_us(10.0)},
+      {1, SimTime::from_us(13.0)},
+      {0, SimTime::from_us(23.0)},
+      {0, SimTime::from_us(30.0)},  // held back until the reply landed
+  };
+  EXPECT_EQ(log, want);
+}
+
 // Ping-pong between two coupled domains: the same exchange must produce
 // the same per-domain execution counts and clocks on one thread and on
 // four (the merge is deterministic, threads only change who executes).
@@ -663,6 +746,84 @@ TEST(ParallelServeSweepTest, SharedEngineMatchesDedicatedSerialRuns) {
     const bool drained = engine.domain_pending_events(static_cast<DomainId>(k)) == 0;
     const serve::ServeReport report = scheds[k].finalize(drained);
     expect_same(baseline[k], report);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-run thread-count invariance (the tentpole's golden)
+// ---------------------------------------------------------------------------
+
+// One fig10-style serving run — two WFQ tenants over a 3-worker cluster
+// whose model events live in per-worker domains — must be bit-identical
+// across --sim-threads 1/2/4/8: same SLO ledger, same scheduler metrics,
+// same trace-span order. The thread count only changes who executes a
+// domain's events; the canonical (time, origin, seq) merge fixes what.
+TEST(ThreadInvarianceGolden, Fig10ServingRunIsThreadCountInvariant) {
+  struct Golden {
+    serve::ServeReport report;
+    core::SchedulerMetrics metrics;
+    std::vector<std::string> trace_names;
+  };
+  const auto play = [](std::size_t threads) {
+    core::GroutConfig gc = small_cluster(threads);
+    gc.cluster.workers = 3;
+    gc.cluster.trace = true;
+    core::GroutRuntime rt(gc);
+    serve::ServeConfig sc;
+    for (std::size_t k = 0; k < 2; ++k) {
+      serve::TenantSpec t;
+      t.name = "t" + std::to_string(k);
+      t.weight = k == 0 ? 2.0 : 1.0;
+      t.workload = workloads::WorkloadKind::BlackScholes;
+      t.params.footprint = 8_MiB;
+      t.params.partitions = 2;
+      t.params.iterations = 1;
+      t.arrival = serve::parse_arrival(k == 0 ? "closed:2" : "poisson:4.0");
+      t.programs = 6;
+      sc.tenants.push_back(std::move(t));
+    }
+    sc.seed = 77;
+    serve::ServeScheduler sched(rt, sc);
+    Golden g;
+    g.report = sched.run();
+    g.metrics = rt.metrics();
+    for (const sim::TraceSpan& span : rt.cluster().tracer().spans()) {
+      g.trace_names.push_back(span.name);
+    }
+    return g;
+  };
+  const Golden base = play(1);
+  EXPECT_TRUE(base.report.drained);
+  EXPECT_GT(base.report.total_completed, 0u);
+  for (const std::size_t threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const Golden got = play(threads);
+    EXPECT_EQ(base.trace_names, got.trace_names);
+    EXPECT_EQ(base.report.drained, got.report.drained);
+    EXPECT_EQ(base.report.elapsed, got.report.elapsed);
+    EXPECT_EQ(base.report.total_completed, got.report.total_completed);
+    EXPECT_EQ(base.report.total_shed, got.report.total_shed);
+    ASSERT_EQ(base.report.tenants.size(), got.report.tenants.size());
+    for (std::size_t i = 0; i < base.report.tenants.size(); ++i) {
+      const serve::TenantReport& a = base.report.tenants[i];
+      const serve::TenantReport& b = got.report.tenants[i];
+      EXPECT_EQ(a.completed, b.completed);
+      EXPECT_EQ(a.shed, b.shed);
+      EXPECT_EQ(a.ces_dispatched, b.ces_dispatched);
+      EXPECT_EQ(a.starvation_max, b.starvation_max);
+      EXPECT_DOUBLE_EQ(a.latency_p50_ms, b.latency_p50_ms);
+      EXPECT_DOUBLE_EQ(a.latency_p95_ms, b.latency_p95_ms);
+      EXPECT_DOUBLE_EQ(a.latency_p99_ms, b.latency_p99_ms);
+      EXPECT_DOUBLE_EQ(a.queue_wait_mean_ms, b.queue_wait_mean_ms);
+      EXPECT_EQ(a.peak_resident, b.peak_resident);
+    }
+    EXPECT_EQ(base.metrics.ces_scheduled, got.metrics.ces_scheduled);
+    EXPECT_EQ(base.metrics.controller_sends, got.metrics.controller_sends);
+    EXPECT_EQ(base.metrics.p2p_sends, got.metrics.p2p_sends);
+    EXPECT_EQ(base.metrics.bytes_planned, got.metrics.bytes_planned);
+    EXPECT_EQ(base.metrics.evictions, got.metrics.evictions);
+    EXPECT_EQ(base.metrics.spills, got.metrics.spills);
+    EXPECT_EQ(base.metrics.assignments, got.metrics.assignments);
   }
 }
 
