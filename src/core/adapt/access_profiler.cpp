@@ -1,0 +1,164 @@
+#include "core/adapt/access_profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace grout::core::adapt {
+
+const char* to_string(AccessClass c) {
+  switch (c) {
+    case AccessClass::Unknown: return "unknown";
+    case AccessClass::Streaming: return "streaming";
+    case AccessClass::Reuse: return "reuse";
+    case AccessClass::Random: return "random";
+  }
+  return "?";
+}
+
+void AdaptConfig::validate() const {
+  GROUT_REQUIRE(window >= 2, "adapt window must be at least 2 observations");
+  GROUT_REQUIRE(interval > SimTime::zero(), "adapt interval must be positive");
+  GROUT_REQUIRE(min_samples >= 1, "adapt min-samples must be at least 1");
+  GROUT_REQUIRE(min_samples <= window, "adapt min-samples cannot exceed the window");
+  GROUT_REQUIRE(std::isfinite(read_mostly_write_share) && read_mostly_write_share >= 0.0 &&
+                    read_mostly_write_share <= 1.0,
+                "adapt read-mostly write-share must be a fraction in [0, 1]");
+}
+
+AccessProfiler::AccessProfiler(AdaptConfig cfg) : cfg_{cfg} { cfg_.validate(); }
+
+AccessProfiler::State& AccessProfiler::state_of(TenantId tenant, GlobalArrayId array,
+                                                const std::string& name) {
+  if (array >= arrays_.size()) {
+    arrays_.resize(array + 1);
+    known_.resize(array + 1, false);
+  }
+  State& st = arrays_[array];
+  if (!known_[array]) {
+    known_[array] = true;
+    st.profile.name = name;
+    st.profile.tenant = tenant;
+  }
+  return st;
+}
+
+void AccessProfiler::observe_dispatch(TenantId tenant, GlobalArrayId array,
+                                      const std::string& name,
+                                      const uvm::ParamAccess& access) {
+  State& st = state_of(tenant, array, name);
+  ArrayProfile& p = st.profile;
+
+  // Reuse-distance sketch: CEs since the previous touch, log2-bucketed.
+  if (p.samples > 0 && tick_ > p.last_touch_tick) {
+    const std::uint64_t distance = tick_ - p.last_touch_tick;
+    std::size_t bucket = 0;
+    while ((1ull << (bucket + 1)) <= distance && bucket < 7) ++bucket;
+    ++p.reuse_hist[bucket];
+  }
+  p.last_touch_tick = tick_;
+
+  Sample s;
+  s.write = uvm::writes(access.mode);
+  if (std::get_if<uvm::HotReusePattern>(&access.pattern) != nullptr) {
+    s.reuse = true;
+  } else if (std::get_if<uvm::RandomPattern>(&access.pattern) != nullptr) {
+    s.random = true;
+  } else {
+    s.sequential = true;  // streaming or strided
+  }
+  st.window.push_back(s);
+  while (st.window.size() > cfg_.window) st.window.pop_front();
+  ++p.samples;
+  ++total_samples_;
+}
+
+void AccessProfiler::observe_report(const std::vector<GlobalArrayId>& arrays,
+                                    const uvm::AccessReport& report) {
+  if (report.bytes_touched == 0) return;
+  const double hit = static_cast<double>(report.bytes_hit) /
+                     static_cast<double>(report.bytes_touched);
+  for (const GlobalArrayId a : arrays) {
+    if (a >= known_.size() || !known_[a]) continue;
+    ArrayProfile& p = arrays_[a].profile;
+    // EWMA blend; CE-granular, so each of the CE's arrays inherits the same
+    // sample — a documented heuristic, not a per-array measurement.
+    p.hit_rate = p.samples <= 1 ? hit : 0.75 * p.hit_rate + 0.25 * hit;
+  }
+}
+
+std::vector<GlobalArrayId> AccessProfiler::classify() {
+  std::vector<GlobalArrayId> changed;
+  ++sweeps_;
+  for (GlobalArrayId a = 0; a < arrays_.size(); ++a) {
+    if (!known_[a]) continue;
+    State& st = arrays_[a];
+    ArrayProfile& p = st.profile;
+    if (st.window.empty()) continue;
+
+    const auto n = static_cast<double>(st.window.size());
+    std::size_t seq = 0, reuse = 0, random = 0, writes = 0;
+    for (const Sample& s : st.window) {
+      seq += s.sequential ? 1 : 0;
+      reuse += s.reuse ? 1 : 0;
+      random += s.random ? 1 : 0;
+      writes += s.write ? 1 : 0;
+    }
+    p.sequentiality = static_cast<double>(seq) / n;
+    p.reuse_share = static_cast<double>(reuse) / n;
+    p.random_share = static_cast<double>(random) / n;
+    p.write_share = static_cast<double>(writes) / n;
+
+    if (p.samples < cfg_.min_samples) continue;  // not enough signal yet
+
+    // Short-distance reuse (re-touched within ~8 CEs) also counts as a
+    // reuse signal even when the declared pattern is sequential: an array
+    // streamed every iteration of a tight loop behaves like a hot set.
+    std::uint64_t near = 0, far = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (b <= 2) near += p.reuse_hist[b];
+      else far += p.reuse_hist[b];
+    }
+    const bool tight_reuse = near > 2 * std::max<std::uint64_t>(far, 1) &&
+                             near >= cfg_.min_samples && p.hit_rate >= 0.5;
+
+    AccessClass cls;
+    if (p.random_share >= 0.5) {
+      cls = AccessClass::Random;
+    } else if (p.reuse_share >= 0.3 || tight_reuse) {
+      cls = AccessClass::Reuse;
+    } else {
+      cls = AccessClass::Streaming;
+    }
+    if (cls != p.cls) {
+      p.cls = cls;
+      ++p.reclassifications;
+      changed.push_back(a);
+    }
+  }
+  return changed;
+}
+
+const ArrayProfile* AccessProfiler::profile(GlobalArrayId array) const {
+  if (array >= known_.size() || !known_[array]) return nullptr;
+  return &arrays_[array].profile;
+}
+
+std::vector<GlobalArrayId> AccessProfiler::observed_arrays() const {
+  std::vector<GlobalArrayId> out;
+  for (GlobalArrayId a = 0; a < known_.size(); ++a) {
+    if (known_[a]) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t AccessProfiler::class_count(AccessClass c) const {
+  std::size_t n = 0;
+  for (GlobalArrayId a = 0; a < known_.size(); ++a) {
+    if (known_[a] && arrays_[a].profile.cls == c) ++n;
+  }
+  return n;
+}
+
+}  // namespace grout::core::adapt

@@ -1,0 +1,105 @@
+#include "core/adapt/policy_tuner.hpp"
+
+#include <algorithm>
+
+namespace grout::core::adapt {
+
+PolicyTuner::PolicyTuner(AdaptConfig cfg, const ThresholdTable& table)
+    : cfg_{cfg}, table_{table} {
+  cfg_.validate();
+}
+
+std::optional<double> PolicyTuner::query_threshold(
+    const AccessProfiler& profiler, const std::vector<GlobalArrayId>& inputs) const {
+  std::size_t streaming = 0, reuse = 0, random = 0, classified = 0;
+  for (const GlobalArrayId a : inputs) {
+    const ArrayProfile* p = profiler.profile(a);
+    if (p == nullptr || p->cls == AccessClass::Unknown) continue;
+    ++classified;
+    switch (p->cls) {
+      case AccessClass::Streaming: ++streaming; break;
+      case AccessClass::Reuse: ++reuse; break;
+      case AccessClass::Random: ++random; break;
+      case AccessClass::Unknown: break;
+    }
+  }
+  if (classified == 0) return std::nullopt;
+  // Majority class decides; ties and random-dominant CEs keep the medium
+  // default (still an explicit override, so the decision is observable).
+  if (streaming > reuse && streaming > random) {
+    // Single-pass inputs: spreading them is cheap, explore aggressively.
+    return table_.threshold(ExplorationLevel::High);
+  }
+  if (reuse > streaming && reuse > random) {
+    // Hot inputs: stay where the working set already lives.
+    return table_.threshold(ExplorationLevel::Low);
+  }
+  return table_.threshold(ExplorationLevel::Medium);
+}
+
+std::vector<RetuneAction> PolicyTuner::sweep(
+    AccessProfiler& profiler, const std::function<bool(GlobalArrayId)>& is_shared) {
+  profiler.classify();
+
+  std::vector<RetuneAction> actions;
+  const std::vector<GlobalArrayId> observed = profiler.observed_arrays();
+  const GlobalArrayId max_id = observed.empty() ? 0 : observed.back() + 1;
+  if (applied_prefetch_.size() < max_id) {
+    applied_prefetch_.resize(max_id);
+    advised_read_mostly_.resize(max_id, false);
+  }
+  dead_.assign(max_id, false);
+
+  for (const GlobalArrayId a : observed) {
+    const ArrayProfile* p = profiler.profile(a);
+    if (p == nullptr) continue;
+
+    // Per-array prefetch: sequential classes coalesce, random thrashes.
+    std::optional<bool> want;
+    switch (p->cls) {
+      case AccessClass::Streaming:
+      case AccessClass::Reuse: want = true; break;
+      case AccessClass::Random: want = false; break;
+      case AccessClass::Unknown: want = std::nullopt; break;
+    }
+    if (want != applied_prefetch_[a]) {
+      applied_prefetch_[a] = want;
+      ++prefetch_overrides_;
+      ++retunes_;
+      actions.push_back(RetuneAction{
+          a,
+          !want.has_value() ? RetuneAction::Kind::PrefetchDefault
+          : *want            ? RetuneAction::Kind::PrefetchOn
+                             : RetuneAction::Kind::PrefetchOff,
+          p->cls});
+    }
+
+    // Dead-replica prediction: a streaming array untouched for a full
+    // window of CEs has been streamed past — its replicas are sunk cost.
+    if (p->cls == AccessClass::Streaming &&
+        profiler.tick() > p->last_touch_tick + cfg_.window) {
+      dead_[a] = true;
+    }
+
+    // Automatic ReadMostly for read-dominant shared arrays.
+    if (!advised_read_mostly_[a] && is_shared && is_shared(a) &&
+        p->samples >= cfg_.min_samples && p->cls != AccessClass::Unknown &&
+        p->write_share <= cfg_.read_mostly_write_share) {
+      advised_read_mostly_[a] = true;
+      ++auto_advises_;
+      ++retunes_;
+      actions.push_back(RetuneAction{a, RetuneAction::Kind::AdviseReadMostly, p->cls});
+    }
+  }
+  return actions;
+}
+
+bool PolicyTuner::predicted_dead(GlobalArrayId array) const {
+  return array < dead_.size() && dead_[array];
+}
+
+std::size_t PolicyTuner::predicted_dead_count() const {
+  return static_cast<std::size_t>(std::count(dead_.begin(), dead_.end(), true));
+}
+
+}  // namespace grout::core::adapt

@@ -25,6 +25,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/elastic.hpp"
+#include "core/adapt/policy_tuner.hpp"
 #include "core/autoscaler.hpp"
 #include "core/directory.hpp"
 #include "core/memory_governor.hpp"
@@ -76,6 +77,12 @@ struct GroutConfig {
   bool autoscale{false};
   SimTime autoscale_interval = SimTime::from_ms(500.0);
   std::size_t autoscale_max_workers{16};
+  /// Adaptive oversubscription management (--adapt): an AccessProfiler
+  /// classifies every array online from the dispatch/completion stream and
+  /// a PolicyTuner retunes prefetch, eviction (dead-replica prediction) and
+  /// per-query exploration thresholds at periodic sweeps. Off by default:
+  /// disabled runs are bit-identical to a build without the subsystem.
+  adapt::AdaptConfig adapt{};
 };
 
 /// Handle to a launched CE.
@@ -190,6 +197,10 @@ class GroutRuntime {
   /// Aggregated UVM stats over all workers (storm counters etc.).
   [[nodiscard]] uvm::UvmStats aggregated_uvm_stats() const;
 
+  /// Adaptive-management introspection; nullptr unless --adapt is on.
+  [[nodiscard]] const adapt::AccessProfiler* profiler() const { return profiler_.get(); }
+  [[nodiscard]] const adapt::PolicyTuner* tuner() const { return tuner_.get(); }
+
  private:
   /// Bookkeeping for every CE the runtime has dispatched. `done` is the
   /// *logical* completion event handed out in the CeTicket: it survives
@@ -240,6 +251,13 @@ class GroutRuntime {
   /// re-arm the next tick. The controller never reads worker-side kernel
   /// records mid-run — workers live in their own event domains.
   void autoscale_tick();
+  /// Periodic --adapt retune sweep: reclassify every observed array from
+  /// its window, apply the tuner's prefetch/advise actions (propagated to
+  /// the workers' event domains like advise()), and re-arm while work is in
+  /// flight. Sweeps run from controller-domain events only, so every retune
+  /// lands at a sweep boundary and replays bit-identically across
+  /// --sim-threads.
+  void adapt_tick();
   void record_membership(MembershipEvent::Kind kind, std::size_t w);
   /// The CE's global array ids, deduplicated (pin/unpin bookkeeping).
   static std::vector<GlobalArrayId> unique_arrays(const gpusim::KernelLaunchSpec& spec);
@@ -292,6 +310,14 @@ class GroutRuntime {
   /// queue non-empty and synchronize() could never drain it); dispatch()
   /// re-arms it when new work arrives.
   bool autoscale_armed_{false};
+  /// --adapt state: the profiler fed at dispatch + completion-ack time, the
+  /// tuner consulted per query and at sweeps, the active per-array prefetch
+  /// overrides (applied to future fresh replicas like advises_), and the
+  /// same disarm-when-quiescent latch the autoscale tick uses.
+  std::unique_ptr<adapt::AccessProfiler> profiler_;
+  std::unique_ptr<adapt::PolicyTuner> tuner_;
+  std::unordered_map<GlobalArrayId, bool> prefetch_overrides_;
+  bool adapt_armed_{false};
 };
 
 }  // namespace grout::core

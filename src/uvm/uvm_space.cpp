@@ -89,6 +89,14 @@ void UvmSpace::advise(ArrayId id, Advise advise, DeviceId device) {
   arr.advise_device = device;
 }
 
+void UvmSpace::set_prefetch_override(ArrayId id, std::optional<bool> enabled) {
+  array_ref(id).prefetch_override = enabled;
+}
+
+std::optional<bool> UvmSpace::prefetch_override(ArrayId id) const {
+  return array_ref(id).prefetch_override;
+}
+
 // ---------------------------------------------------------------------------
 // Device access (the fault engine)
 // ---------------------------------------------------------------------------
@@ -170,13 +178,19 @@ DeviceAccessResult UvmSpace::device_access(DeviceId device, std::span<const Para
         storm_bw.transfer_time(r.healthy_fetch + r.evict_fetch + r.populate_alloc);
   } else {
     if (r.healthy_fetch > 0) {
-      if (tuning_.prefetcher_enabled) {
-        fault_time += pcie.transfer_time(r.healthy_fetch);
-      } else {
+      // Each array's *effective* prefetcher setting (per-array override or
+      // the global flag) decides which rate its healthy faults are served
+      // at: full PCIe with the sequential prefetcher coalescing, or the
+      // degraded no-prefetch rate plus per-batch fault latency.
+      const Bytes with_pf = r.healthy_fetch - c.healthy_fetch_nopf;
+      if (with_pf > 0) {
+        fault_time += pcie.transfer_time(with_pf);
+      }
+      if (c.healthy_fetch_nopf > 0) {
         const Bandwidth degraded =
             Bandwidth::bytes_per_sec(pcie.bps() * tuning_.no_prefetch_bw_factor);
-        fault_time += degraded.transfer_time(r.healthy_fetch);
-        const std::uint64_t pages = r.healthy_fetch / tuning_.page_size;
+        fault_time += degraded.transfer_time(c.healthy_fetch_nopf);
+        const std::uint64_t pages = c.healthy_fetch_nopf / tuning_.page_size;
         const std::uint64_t batches =
             (pages + tuning_.healthy_batch_pages - 1) / tuning_.healthy_batch_pages;
         fault_time += tuning_.fault_batch_latency * static_cast<std::int64_t>(batches);
@@ -229,6 +243,10 @@ void UvmSpace::touch_page(DeviceId device, ArrayId id, std::uint32_t page, Acces
   c.touched += pb;
   if (st.mask & bit) {
     c.hit += pb;
+    if (st.prefetched) {
+      st.prefetched = false;
+      stats_.prefetch_useful += pb;
+    }
   } else {
     ++c.faults;
     // Make room first: faulting into a full device evicts on the critical
@@ -274,12 +292,14 @@ void UvmSpace::touch_page(DeviceId device, ArrayId id, std::uint32_t page, Acces
       compact_ring(dev);
     }
 
+    st.prefetched = false;  // migrated on a fault: any prior prefetch was wasted
     if (!needs_copy) {
       c.populate_alloc += pb;  // first touch: map device-side, no H2D copy
     } else if (evicted_now) {
       c.evict_fetch += pb;
     } else {
       c.healthy_fetch += pb;
+      if (!effective_prefetch(arr)) c.healthy_fetch_nopf += pb;
     }
   }
 
@@ -355,6 +375,7 @@ void UvmSpace::drop_residency(ArrayId id, std::uint32_t page, DeviceId device,
   const std::uint16_t bit = device_bit(device);
   GROUT_CHECK((st.mask & bit) != 0, "dropping a page that is not resident here");
   st.mask &= static_cast<std::uint8_t>(~bit);
+  st.prefetched = false;  // evicted before a touch: the prefetch was wasted
   --devices_[device].used_pages;
   if (st.mask == 0) {
     // Only copy: eviction migrates it back to host memory (unless the page
@@ -456,7 +477,10 @@ SimTime UvmSpace::prefetch(ArrayId id, DeviceId device, ByteRange range) {
     while (dev.used_pages >= dev.capacity_pages) {
       if (!evict_one(device, c)) break;
     }
-    GROUT_CHECK(dev.used_pages < dev.capacity_pages, "prefetch into full, unevictable device");
+    // Prefetch is a hint: when the device is full and nothing is evictable
+    // (every resident page pinned by advice/heat), truncate the prefetch
+    // cleanly — later pages fault on demand — instead of aborting.
+    if (dev.used_pages >= dev.capacity_pages) break;
     if (arr.advise == Advise::ReadMostly) {
       st.mask |= bit;
     } else {
@@ -475,10 +499,12 @@ SimTime UvmSpace::prefetch(ArrayId id, DeviceId device, ByteRange range) {
       ++arr.sticky_per_device[device];
     }
     dev.ring.push_back(RingEntry{id, p});
+    st.prefetched = true;
     if (st.populated) fetch += page_bytes(arr, p);
   }
 
   stats_.bytes_fetched += fetch;
+  stats_.prefetch_issued += fetch;
   stats_.bytes_written_back += c.writeback;
   stats_.evictions += c.evictions;
 

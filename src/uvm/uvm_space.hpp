@@ -49,6 +49,10 @@ struct UvmStats {
   std::uint64_t evictions{0};
   std::uint64_t storm_kernels{0};
   std::uint64_t kernels{0};
+  /// Bytes brought in by explicit prefetch() calls, and the subset whose
+  /// pages were later hit by a device touch before being evicted.
+  Bytes prefetch_issued{0};
+  Bytes prefetch_useful{0};
 };
 
 /// Result of a device access, including link-queue completion times.
@@ -81,6 +85,14 @@ class UvmSpace {
 
   /// Apply a cudaMemAdvise-style hint.
   void advise(ArrayId id, Advise advise, DeviceId device = kHostDevice);
+
+  /// Per-array override of the global UvmTuning::prefetcher_enabled flag:
+  /// the driver-level sequential prefetcher can be forced on/off for one
+  /// allocation (the adaptive tuner's streaming-vs-random decision).
+  /// nullopt restores the global default. No override leaves the service
+  /// model bit-identical to the pre-override behaviour.
+  void set_prefetch_override(ArrayId id, std::optional<bool> enabled);
+  [[nodiscard]] std::optional<bool> prefetch_override(ArrayId id) const;
 
   // -- accesses ------------------------------------------------------------
 
@@ -139,6 +151,9 @@ class UvmSpace {
     /// device-side directly — no host->device copy, like cudaMallocManaged
     /// memory first touched by a kernel.
     bool populated{false};
+    /// Set by prefetch(); cleared (and counted useful) on the next touch
+    /// hit, or silently on eviction/migration (a wasted prefetch).
+    bool prefetched{false};
   };
 
   struct ArrayInfo {
@@ -148,6 +163,8 @@ class UvmSpace {
     std::vector<std::size_t> sticky_per_device;  ///< distinct pages faulted, per device
     Advise advise{Advise::None};
     DeviceId advise_device{kHostDevice};
+    /// Per-array prefetcher override; nullopt = UvmTuning::prefetcher_enabled.
+    std::optional<bool> prefetch_override;
     bool live{false};
   };
 
@@ -170,6 +187,9 @@ class UvmSpace {
 
   struct TouchCounters {
     Bytes healthy_fetch{0};
+    /// Subset of healthy_fetch faulted by arrays whose *effective* prefetch
+    /// is off — charged at the degraded no-prefetch rate + batch latency.
+    Bytes healthy_fetch_nopf{0};
     Bytes evict_fetch{0};
     Bytes populate_alloc{0};
     Bytes writeback{0};
@@ -186,6 +206,10 @@ class UvmSpace {
 
   ArrayInfo& array_ref(ArrayId id);
   const ArrayInfo& array_ref(ArrayId id) const;
+
+  [[nodiscard]] bool effective_prefetch(const ArrayInfo& arr) const {
+    return arr.prefetch_override.value_or(tuning_.prefetcher_enabled);
+  }
   DeviceState& device_ref(DeviceId id);
   const DeviceState& device_ref(DeviceId id) const;
 

@@ -106,6 +106,18 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace,
   if (with_kill) {
     cfg.fault_plan.kills.push_back(net::KillWorkerFault{0, SimTime::from_seconds(0.4)});
   }
+  // Every second seed runs with adaptive oversubscription management on: a
+  // small window and a fast sweep cadence make the profiler classify and
+  // the tuner retune (prefetch overrides, dead-replica predictions, tuned
+  // thresholds, auto advises) inside a 20-40-step scenario, composing with
+  // every other axis — spill tiers, kills, multi-tenancy, drains.
+  const bool adaptive = seed % 2 == 1;
+  if (adaptive) {
+    cfg.adapt.enabled = true;
+    cfg.adapt.window = 8;
+    cfg.adapt.min_samples = 2;
+    cfg.adapt.interval = SimTime::from_ms(5.0);
+  }
 
   GroutRuntime rt(cfg);
   test::InvariantChecker chk(rt);
@@ -188,7 +200,15 @@ ScenarioOutcome run_scenario(std::uint64_t seed, bool check, bool trace,
                                      : m == 0  ? uvm::AccessMode::Read
                                      : m == 1  ? uvm::AccessMode::Write
                                                : uvm::AccessMode::ReadWrite;
-        spec.params.push_back(uvm::ParamAccess{a, {}, mode, uvm::StreamingPattern{}});
+        // Roll the declared pattern too so the adaptive profiler sees all
+        // three classes (streaming / hot-reuse / random), not just one.
+        const std::uint64_t pat = rng.next_below(4);
+        const uvm::AccessPattern pattern =
+            pat == 0 ? uvm::AccessPattern{uvm::HotReusePattern{}}
+            : pat == 1
+                ? uvm::AccessPattern{uvm::RandomPattern{0.5, seed * 131 + s}}
+                : uvm::AccessPattern{uvm::StreamingPattern{}};
+        spec.params.push_back(uvm::ParamAccess{a, {}, mode, pattern});
       }
       if (spec.params.empty()) {
         // Every roll landed on the other tenant's arrays; fall back to the
@@ -392,14 +412,47 @@ void expect_identical_outcomes(const ScenarioOutcome& a, const ScenarioOutcome& 
   EXPECT_EQ(a.metrics.spill_nvme_high_water, b.metrics.spill_nvme_high_water);
   EXPECT_EQ(a.metrics.writeback_queue_peak, b.metrics.writeback_queue_peak);
   EXPECT_EQ(a.metrics.spill_wait, b.metrics.spill_wait);
+  EXPECT_EQ(a.metrics.adapt_sweeps, b.metrics.adapt_sweeps);
+  EXPECT_EQ(a.metrics.adapt_samples, b.metrics.adapt_samples);
+  EXPECT_EQ(a.metrics.adapt_arrays_streaming, b.metrics.adapt_arrays_streaming);
+  EXPECT_EQ(a.metrics.adapt_arrays_reuse, b.metrics.adapt_arrays_reuse);
+  EXPECT_EQ(a.metrics.adapt_arrays_random, b.metrics.adapt_arrays_random);
+  EXPECT_EQ(a.metrics.adapt_reclassifications, b.metrics.adapt_reclassifications);
+  EXPECT_EQ(a.metrics.adapt_retunes, b.metrics.adapt_retunes);
+  EXPECT_EQ(a.metrics.adapt_prefetch_overrides, b.metrics.adapt_prefetch_overrides);
+  EXPECT_EQ(a.metrics.adapt_threshold_updates, b.metrics.adapt_threshold_updates);
+  EXPECT_EQ(a.metrics.adapt_auto_advises, b.metrics.adapt_auto_advises);
+  EXPECT_EQ(a.metrics.predicted_dead_evictions, b.metrics.predicted_dead_evictions);
+  EXPECT_EQ(a.metrics.predicted_dead_bytes_evicted, b.metrics.predicted_dead_bytes_evicted);
 }
 
 TEST(DeterminismTest, SameSeedTwiceIsBitIdentical) {
-  // Seed 7 draws MinTransferTime with a drain-heavy action mix; any seed
-  // must reproduce, this one just covers the richest machinery.
+  // Seed 7 draws MinTransferTime with a drain-heavy action mix (and, being
+  // odd, runs with adaptive management on); any seed must reproduce, this
+  // one just covers the richest machinery.
   const ScenarioOutcome a = run_scenario(7, /*check=*/false, /*trace=*/true);
   const ScenarioOutcome b = run_scenario(7, /*check=*/false, /*trace=*/true);
   expect_identical_outcomes(a, b);
+}
+
+TEST(DeterminismTest, AdaptiveSeedSerialVsParallelBitIdentical) {
+  // Seed 7 composes --adapt (seed % 2 == 1) with MinTransferTime and
+  // multi-tenant contention (7 % 3 == 1): profiles, classifications, retune
+  // sweeps, tuned thresholds and predicted-dead evictions must replay
+  // bit-identically on the parallel engine — the profiler is fed only from
+  // controller-domain events, so the ack order (not thread timing) decides
+  // every profile.
+  const ScenarioOutcome serial =
+      run_scenario(7, /*check=*/false, /*trace=*/true, /*sim_threads=*/1);
+  const ScenarioOutcome parallel2 =
+      run_scenario(7, /*check=*/false, /*trace=*/true, /*sim_threads=*/2);
+  const ScenarioOutcome parallel4 =
+      run_scenario(7, /*check=*/false, /*trace=*/true, /*sim_threads=*/4);
+  expect_identical_outcomes(serial, parallel2);
+  expect_identical_outcomes(serial, parallel4);
+  // The adaptive machinery actually engaged on this seed.
+  EXPECT_GT(serial.metrics.adapt_samples, 0u);
+  EXPECT_GT(serial.metrics.adapt_sweeps, 0u);
 }
 
 TEST(DeterminismTest, SpillSeedIsBitIdentical) {

@@ -423,6 +423,43 @@ TEST_F(UvmFixture, PrefetchEvictsWhenFull) {
   EXPECT_TRUE(space->page_resident(b, 0, 0));
 }
 
+TEST_F(UvmFixture, PrefetchLargerThanDeviceCyclesThroughEviction) {
+  // Oversubscribing prefetch: later pages evict the array's own earlier
+  // pages via the normal victim path; residency never exceeds capacity and
+  // the call completes (the adaptive tuner issues prefetches like this).
+  rebuild(EvictionPolicyKind::ClockLru, 2_MiB, 2);
+  const ArrayId a = alloc_populated(4_MiB, "a");
+  const SimTime done = space->prefetch(a, 0);
+  EXPECT_GE(done, sim.now());
+  EXPECT_LE(space->resident_bytes(0), space->capacity(0));
+  EXPECT_GT(space->resident_bytes(0), 0u);
+}
+
+TEST_F(UvmFixture, RepeatedPrefetchOfFullDeviceNeverAborts) {
+  // Regression for the former GROUT_CHECK(used_pages < capacity_pages)
+  // abort in prefetch(): the adaptive tuner issues prefetches under heavy
+  // oversubscription, where the device is persistently full and every new
+  // page must displace a victim — including advice-pinned and hot pages
+  // that the clock sweep second-chances. Hammering prefetches across
+  // oversubscribing arrays must complete (evicting per the normal victim
+  // path, truncating when nothing is evictable) and never exceed capacity.
+  rebuild(EvictionPolicyKind::ClockLru, 2_MiB, 2);
+  const ArrayId a = alloc_populated(4_MiB, "a");
+  const ArrayId b = alloc_populated(4_MiB, "b");
+  const ArrayId c = alloc_populated(4_MiB, "c");
+  space->advise(a, Advise::PreferredLocation, 0);  // pinned victims
+  space->advise(c, Advise::ReadMostly);            // duplicated residency
+  for (int round = 0; round < 4; ++round) {
+    stream(0, a);  // heat a's pages so the clock protects them
+    for (const ArrayId id : {b, c, a}) {
+      space->prefetch(id, 0);
+      EXPECT_LE(space->resident_bytes(0), space->capacity(0));
+    }
+  }
+  EXPECT_GT(space->stats().prefetch_issued, 0u);
+  EXPECT_GT(space->stats().evictions, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Storm regime
 // ---------------------------------------------------------------------------

@@ -58,6 +58,7 @@ struct Options {
   net::FaultPlan fault_plan;
   cluster::ElasticPlan elastic_plan;
   bool autoscale = false;
+  core::adapt::AdaptConfig adapt;  // --adapt / --adapt-window / --adapt-interval
   // serve command
   std::size_t tenants = 2;
   std::string arrival = "closed:1";
@@ -122,6 +123,12 @@ struct Options {
                "       drain@t=<sec>:<worker>        gracefully decommission a worker\n"
                "     e.g. --elastic-plan \"join@t=2s:2,drain@t=5s:0\")\n"
                "  --autoscale                     (KPI-driven worker scale-out/in)\n"
+               "  --adapt                         (adaptive oversubscription management:\n"
+               "                                   online access profiling retunes\n"
+               "                                   prefetch, eviction and exploration)\n"
+               "  --adapt-window <n>              (profile sliding window in dispatches;\n"
+               "                                   default 32, min 2)\n"
+               "  --adapt-interval <ms>           (retune sweep cadence; default 50)\n"
                "serve options (multi-tenant frontend):\n"
                "  --tenants <n>                   (default 2)\n"
                "  --arrival closed[:depth]|poisson:<rate_hz>   (default closed:1)\n"
@@ -322,6 +329,20 @@ Options parse_args(int argc, char** argv) {
       opt.elastic_plan = cluster::ElasticPlan::parse(next());
     } else if (flag == "--autoscale") {
       opt.autoscale = true;
+    } else if (flag == "--adapt") {
+      opt.adapt.enabled = true;
+    } else if (flag == "--adapt-window") {
+      const double n = parse_number(flag, next());
+      // Window 0/1 cannot hold a reuse signal; non-integers and negatives
+      // die at parse time (knob-hardening style).
+      if (n < 2.0 || n != static_cast<double>(static_cast<std::size_t>(n))) {
+        usage("--adapt-window must be an integer >= 2");
+      }
+      opt.adapt.window = static_cast<std::size_t>(n);
+    } else if (flag == "--adapt-interval") {
+      const double ms = parse_number(flag, next());
+      if (ms <= 0.0) usage("--adapt-interval must be positive milliseconds");
+      opt.adapt.interval = SimTime::from_ms(ms);
     } else if (flag == "--tenants") {
       opt.tenants = std::stoul(next());
       if (opt.tenants == 0) usage("--tenants must be >= 1");
@@ -364,6 +385,7 @@ Options parse_args(int argc, char** argv) {
   // ordering, ...) dies at parse time too, not inside the governor.
   try {
     opt.spill.validate();
+    opt.adapt.validate();
   } catch (const grout::Error& e) {
     usage(e.what());
   }
@@ -414,6 +436,7 @@ core::GroutConfig grout_config_of(const Options& opt) {
   cfg.fault_plan = opt.fault_plan;
   cfg.elastic_plan = opt.elastic_plan;
   cfg.autoscale = opt.autoscale;
+  cfg.adapt = opt.adapt;
   if (opt.worker_mem_gib) {
     cfg.worker_mem = static_cast<Bytes>(*opt.worker_mem_gib * 1073741824.0);
   }
@@ -478,6 +501,27 @@ RunResult run_once(const Options& opt, const std::string& backend, double size_g
       std::printf("  %llu scale-outs, %llu scale-ins (KPI-driven)\n",
                   static_cast<unsigned long long>(m.autoscale_scale_outs),
                   static_cast<unsigned long long>(m.autoscale_scale_ins));
+    }
+    if (opt.adapt.enabled) {
+      std::printf("adaptive:\n");
+      std::printf("  profiles:        %llu samples over %llu sweeps; "
+                  "%zu streaming / %zu reuse / %zu random arrays, %llu reclassifications\n",
+                  static_cast<unsigned long long>(m.adapt_samples),
+                  static_cast<unsigned long long>(m.adapt_sweeps), m.adapt_arrays_streaming,
+                  m.adapt_arrays_reuse, m.adapt_arrays_random,
+                  static_cast<unsigned long long>(m.adapt_reclassifications));
+      std::printf("  retunes:         %llu total (%llu prefetch overrides, "
+                  "%llu auto advises), %llu tuned-threshold placements\n",
+                  static_cast<unsigned long long>(m.adapt_retunes),
+                  static_cast<unsigned long long>(m.adapt_prefetch_overrides),
+                  static_cast<unsigned long long>(m.adapt_auto_advises),
+                  static_cast<unsigned long long>(m.adapt_threshold_updates));
+      std::printf("  dead replicas:   %llu predicted-dead evictions (%s)\n",
+                  static_cast<unsigned long long>(m.predicted_dead_evictions),
+                  format_bytes(m.predicted_dead_bytes_evicted).c_str());
+      std::printf("  prefetch:        %s issued, %s useful\n",
+                  format_bytes(stats.prefetch_issued).c_str(),
+                  format_bytes(stats.prefetch_useful).c_str());
     }
     if (!rt.membership_log().empty()) {
       std::printf("membership:\n");
@@ -715,6 +759,21 @@ int cmd_serve(const Options& opt) {
     std::printf("autoscale: %llu scale-outs, %llu scale-ins\n",
                 static_cast<unsigned long long>(m.autoscale_scale_outs),
                 static_cast<unsigned long long>(m.autoscale_scale_ins));
+  }
+  if (opt.adapt.enabled) {
+    std::printf("adaptive: %llu samples, %llu sweeps, %llu retunes "
+                "(%llu prefetch, %llu advises), %llu predicted-dead evictions\n",
+                static_cast<unsigned long long>(m.adapt_samples),
+                static_cast<unsigned long long>(m.adapt_sweeps),
+                static_cast<unsigned long long>(m.adapt_retunes),
+                static_cast<unsigned long long>(m.adapt_prefetch_overrides),
+                static_cast<unsigned long long>(m.adapt_auto_advises),
+                static_cast<unsigned long long>(m.predicted_dead_evictions));
+    for (const serve::TenantReport& t : rep.tenants) {
+      if (t.adapt_streaming + t.adapt_reuse + t.adapt_random == 0) continue;
+      std::printf("  %s: %zu streaming / %zu reuse / %zu random arrays\n", t.name.c_str(),
+                  t.adapt_streaming, t.adapt_reuse, t.adapt_random);
+    }
   }
   if (opt.trace_path) {
     std::ofstream out(*opt.trace_path);
